@@ -1,0 +1,326 @@
+package shufflenet_test
+
+// One benchmark per reproduction experiment (E1–E11 plus ablations; see DESIGN.md's
+// experiment index and EXPERIMENTS.md for recorded results), plus
+// ablation benches for the design decisions called out in DESIGN.md §4:
+// circuit vs. register evaluation, sequential vs. parallel evaluation,
+// and the scaling of the Lemma 4.1 recursion.
+//
+// The experiment benches exercise the dominant computation of the
+// corresponding table; regenerating the tables themselves is
+// cmd/experiments' job.
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/benes"
+	"shufflenet/internal/bits"
+	"shufflenet/internal/core"
+	"shufflenet/internal/delta"
+	"shufflenet/internal/experiments"
+	"shufflenet/internal/halver"
+	"shufflenet/internal/machine"
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+	"shufflenet/internal/pattern"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/randnet"
+	"shufflenet/internal/shuffle"
+	"shufflenet/internal/sortcheck"
+)
+
+// BenchmarkE1BitonicSort measures Stone's shuffle-based bitonic sorter
+// (build + evaluate) at n = 1024 — the E1 upper-bound workload.
+func BenchmarkE1BitonicSort(b *testing.B) {
+	const n = 1024
+	r := shuffle.Bitonic(n)
+	in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Eval(in)
+	}
+}
+
+// BenchmarkE2LemmaSurvival measures one constructive Lemma 4.1 pass
+// over a full butterfly block at n = 1024 with k = lg n.
+func BenchmarkE2LemmaSurvival(b *testing.B) {
+	const n = 1024
+	l := bits.Lg(n)
+	tree := delta.Butterfly(l)
+	p := pattern.Uniform(n, pattern.M(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Lemma41(tree, p, l)
+	}
+}
+
+// BenchmarkE3IteratedSurvival measures Theorem 4.1 across two butterfly
+// blocks with random glue at n = 256.
+func BenchmarkE3IteratedSurvival(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(2))
+	it := delta.NewIterated(n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(n)))
+	it.AddBlock(perm.Random(n, rng), delta.Butterfly(bits.Lg(n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Theorem41(it, 0)
+	}
+}
+
+// BenchmarkE4Certificate measures the full Corollary 4.1.1 pipeline:
+// adversary, certificate extraction, and verification by replay.
+func BenchmarkE4Certificate(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(3))
+	it := delta.NewIterated(n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(n)))
+	it.AddBlock(perm.Random(n, rng), delta.Butterfly(bits.Lg(n)))
+	circ, _ := it.ToNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := core.Theorem41(it, 0)
+		cert, err := an.Certificate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cert.Verify(circ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5TruncatedBlocks measures the Section 5 variant: Theorem
+// 4.1 over four forest blocks of 3-level trees at n = 256.
+func BenchmarkE5TruncatedBlocks(b *testing.B) {
+	const n, f = 256, 3
+	rng := rand.New(rand.NewSource(4))
+	it := delta.NewIterated(n)
+	for blk := 0; blk < 4; blk++ {
+		trees := make([]*delta.Network, n/(1<<f))
+		for i := range trees {
+			trees[i] = delta.Random(f, 1.0, rng)
+		}
+		it.AddForest(perm.Random(n, rng), delta.NewForest(trees...))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Theorem41(it, 0)
+	}
+}
+
+// BenchmarkE6AverageCase measures the Monte-Carlo sorted-fraction
+// estimator on a truncated Stone bitonic network.
+func BenchmarkE6AverageCase(b *testing.B) {
+	const n = 128
+	d := bits.Lg(n)
+	net := randnet.TruncatedBitonic(n, d*d/2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sortcheck.SortedFraction(n, 200, net, 5, 0)
+	}
+}
+
+// BenchmarkE7Constructions measures construction plus structural
+// recognition (the reverse-delta recognizer on a butterfly).
+func BenchmarkE7Constructions(b *testing.B) {
+	const n = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := netbuild.Bitonic(n)
+		bf := delta.Butterfly(bits.Lg(n)).ToNetwork()
+		if !delta.IsReverseDelta(bf) || c.Size() == 0 {
+			b.Fatal("recognizer failed")
+		}
+	}
+}
+
+// BenchmarkE8AdversaryDepth measures running the adversary to
+// exhaustion (growing the butterfly stack until |D| < 2) at n = 64.
+func BenchmarkE8AdversaryDepth(b *testing.B) {
+	const n = 64
+	l := bits.Lg(n)
+	rng := rand.New(rand.NewSource(6))
+	pres := make([]perm.Perm, 6*l)
+	for i := range pres {
+		pres[i] = perm.Random(n, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := delta.NewIterated(n)
+		it.AddBlock(nil, delta.Butterfly(l))
+		for d := 1; d <= 6*l; d++ {
+			an := core.Theorem41(it, 0)
+			if len(an.D) < 2 {
+				break
+			}
+			it.AddBlock(pres[d-1], delta.Butterfly(l))
+		}
+	}
+}
+
+// BenchmarkE9Routing measures the two routing constructions: the
+// strict-shuffle route-by-sorting and the 2-pass shuffle-unshuffle
+// Beneš route.
+func BenchmarkE9Routing(b *testing.B) {
+	const n = 256
+	target := perm.Random(n, rand.New(rand.NewSource(11)))
+	b.Run("shuffle-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shuffle.RoutePermutation(target)
+		}
+	})
+	b.Run("shuffle-unshuffle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shuffle.RouteShuffleUnshuffle(target)
+		}
+	})
+}
+
+// BenchmarkE10Machine measures the machine simulator on the Stone
+// bitonic sorting workload (single run + 64-way pipelined batch).
+func BenchmarkE10Machine(b *testing.B) {
+	const n = 256
+	m := machine.New(n, machine.DefaultCost)
+	r := shuffle.Bitonic(n)
+	rng := rand.New(rand.NewSource(12))
+	batch := make([][]int, 64)
+	for i := range batch {
+		batch[i] = []int(perm.Random(n, rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunPipelined(r, batch)
+	}
+}
+
+// BenchmarkE11Witnesses measures the exhaustive 0-1 witness-density
+// scan (2^16 evaluations of a shallow network).
+func BenchmarkE11Witnesses(b *testing.B) {
+	const n = 16
+	net := randnet.TruncatedBitonic(n, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sortcheck.ZeroOneFraction(n, net, 0)
+	}
+}
+
+// BenchmarkExperimentTables regenerates every E-table in quick mode —
+// the end-to-end harness cost.
+func BenchmarkExperimentTables(b *testing.B) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All() {
+			if tab := r.Run(cfg); len(tab.Rows) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationCircuitVsRegister compares evaluating the same
+// bitonic sorter in the two network models.
+func BenchmarkAblationCircuitVsRegister(b *testing.B) {
+	const n = 1024
+	circ := netbuild.Bitonic(n)
+	reg, _ := network.ToRegister(circ)
+	in := []int(perm.Random(n, rand.New(rand.NewSource(7))))
+	b.Run("circuit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			circ.Eval(in)
+		}
+	})
+	b.Run("register", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.Eval(in)
+		}
+	})
+}
+
+// BenchmarkAblationParallelEval compares sequential and
+// level-synchronous parallel circuit evaluation on a wide network.
+func BenchmarkAblationParallelEval(b *testing.B) {
+	const n = 1 << 14
+	circ := netbuild.Bitonic(n)
+	in := []int(perm.Random(n, rand.New(rand.NewSource(8))))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			circ.Eval(in)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			circ.EvalParallel(in, 0)
+		}
+	})
+}
+
+// BenchmarkAblationLemmaScaling shows the Lemma 4.1 recursion cost as n
+// grows (near-linear in n·lg n).
+func BenchmarkAblationLemmaScaling(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			l := bits.Lg(n)
+			tree := delta.Butterfly(l)
+			p := pattern.Uniform(n, pattern.M(0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Lemma41(tree, p, l)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationZeroOneWorkers compares 0-1-principle checking with
+// one worker and with all cores.
+func BenchmarkAblationZeroOneWorkers(b *testing.B) {
+	const n = 16
+	c := netbuild.Bitonic(n)
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortcheck.ZeroOneFraction(n, c, 1)
+		}
+	})
+	b.Run("workers=all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortcheck.ZeroOneFraction(n, c, 0)
+		}
+	})
+}
+
+// BenchmarkBenesRouting measures Beneš switch-setting computation.
+func BenchmarkBenesRouting(b *testing.B) {
+	const n = 1024
+	target := perm.Random(n, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benes.Route(target)
+	}
+}
+
+// BenchmarkHalverEpsilon measures exact ε computation (2^16 inputs).
+func BenchmarkHalverEpsilon(b *testing.B) {
+	c := halver.CrossMatchings(16, 4, rand.New(rand.NewSource(10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		halver.Epsilon(c, 0)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,190 @@
+package shufflenet_test
+
+// End-to-end tests of the three command-line tools: each binary is
+// built once into a temp dir and driven through its primary flows.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "shufflenet-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"snet", "adversary", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				_ = out
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLISnetInfoCheckEval(t *testing.T) {
+	out, err := run(t, "snet", "-net", "bitonic", "-n", "16", "-op", "check")
+	if err != nil || !strings.Contains(out, "sorting network: yes") {
+		t.Fatalf("check failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "snet", "-net", "stone", "-n", "16", "-op", "info")
+	if err != nil || !strings.Contains(out, "shuffleBased=true") {
+		t.Fatalf("info failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "snet", "-net", "pratt", "-n", "8", "-op", "eval", "-input", "7,6,5,4,3,2,1,0")
+	if err != nil || !strings.Contains(out, "sorted: true") {
+		t.Fatalf("eval failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "snet", "-net", "oddeven", "-n", "8", "-op", "ascii")
+	if err != nil || !strings.Contains(out, "o-") {
+		t.Fatalf("ascii failed: %v\n%s", err, out)
+	}
+}
+
+func TestCLISnetFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	out, err := run(t, "snet", "-net", "butterfly", "-n", "16", "-op", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, "snet", "-net", "file:"+path, "-op", "info")
+	if err != nil || !strings.Contains(out, "n=16") {
+		t.Fatalf("file load failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "reverse delta topology: true") {
+		t.Fatalf("butterfly not recognized from file:\n%s", out)
+	}
+}
+
+func TestCLIAdversaryBuiltins(t *testing.T) {
+	out, err := run(t, "adversary", "-n", "64", "-blocks", "2", "-topology", "butterfly")
+	if err != nil || !strings.Contains(out, "NOT a sorting network") {
+		t.Fatalf("adversary run failed: %v\n%s", err, out)
+	}
+	// Full bitonic: the adversary must refuse.
+	out, err = run(t, "adversary", "-n", "16", "-blocks", "4", "-topology", "bitonic")
+	if err != nil {
+		t.Fatalf("adversary errored: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no certificate") {
+		t.Fatalf("adversary claimed to beat a full bitonic prefix:\n%s", out)
+	}
+}
+
+func TestCLIAdversaryFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "two-butterflies.txt")
+	single, err := run(t, "snet", "-net", "butterfly", "-n", "32", "-op", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concatenate two butterfly blocks into one 10-level circuit.
+	var b strings.Builder
+	lines := strings.Split(strings.TrimSpace(single), "\n")
+	b.WriteString(lines[0] + "\n")
+	for rep := 0; rep < 2; rep++ {
+		for _, ln := range lines[1:] {
+			b.WriteString(ln + "\n")
+		}
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "adversary", "-file", path)
+	if err != nil || !strings.Contains(out, "certificate verified against the loaded circuit") {
+		t.Fatalf("file adversary failed: %v\n%s", err, out)
+	}
+}
+
+func TestCLIExperimentsQuick(t *testing.T) {
+	out, err := run(t, "experiments", "-quick", "-run", "E4,E9")
+	if err != nil {
+		t.Fatalf("experiments failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"E4 —", "E9 —", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	out, err = run(t, "experiments", "-quick", "-run", "E1", "-csv")
+	if err != nil || !strings.Contains(out, "n,lg n,") {
+		t.Fatalf("CSV output wrong: %v\n%s", err, out)
+	}
+	// Unknown experiment: nonzero exit.
+	if _, err = run(t, "experiments", "-run", "E42"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCLIAdversarySaveAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.txt")
+	certPath := filepath.Join(dir, "cert.json")
+	single, err := run(t, "snet", "-net", "butterfly", "-n", "16", "-op", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(single), "\n")
+	var b strings.Builder
+	b.WriteString(lines[0] + "\n")
+	for rep := 0; rep < 2; rep++ {
+		for _, ln := range lines[1:] {
+			b.WriteString(ln + "\n")
+		}
+	}
+	if err := os.WriteFile(netPath, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "adversary", "-file", netPath, "-save", certPath)
+	if err != nil || !strings.Contains(out, "certificate written") {
+		t.Fatalf("save failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "adversary", "-check", certPath, "-file", netPath)
+	if err != nil || !strings.Contains(out, "NOT a sorting network") {
+		t.Fatalf("check failed: %v\n%s", err, out)
+	}
+	// Checking against the WRONG network must fail.
+	wrong, err := run(t, "snet", "-net", "bitonic", "-n", "16", "-op", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongPath := filepath.Join(dir, "wrong.txt")
+	if err := os.WriteFile(wrongPath, []byte(wrong), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, "adversary", "-check", certPath, "-file", wrongPath); err == nil {
+		t.Fatal("certificate accepted against the wrong network")
+	}
+}

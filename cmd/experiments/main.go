@@ -1,0 +1,67 @@
+// Command experiments regenerates the reproduction tables E1–E11 and ablations A1–A2 (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	experiments [-run E4[,E5,...]] [-quick] [-seed N] [-csv] [-workers N]
+//
+// With no -run flag every experiment is executed in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"shufflenet/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	seed := flag.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+
+	var runners []experiments.Runner
+	if *run == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r := experiments.Find(strings.TrimSpace(id))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", id)
+				for _, a := range experiments.All() {
+					fmt.Fprintf(os.Stderr, "  %s  %s\n", a.ID, a.Brief)
+				}
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		tab := r.Run(cfg)
+		var err error
+		if *csv {
+			err = tab.RenderCSV(os.Stdout)
+		} else {
+			err = tab.Render(os.Stdout)
+			fmt.Printf("(%s in %v, seed %d)\n", r.ID, time.Since(start).Round(time.Millisecond), *seed)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

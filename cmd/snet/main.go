@@ -1,0 +1,217 @@
+// Command snet builds, inspects, checks, and evaluates the comparator
+// networks in this repository.
+//
+// Usage:
+//
+//	snet -net <family> -n <wires> [-op info|check|eval|dot|text] [flags]
+//
+// Families:
+//
+//	bitonic       Batcher's bitonic sorter (circuit model)
+//	oddeven       Batcher's odd-even mergesort (circuit model)
+//	transposition odd-even transposition sort (circuit model)
+//	insertion     insertion/bubble network (circuit model)
+//	pratt         Pratt's Shellsort network, Θ(lg²n) depth (circuit)
+//	mergeexchange Batcher's merge-exchange, any width (circuit)
+//	stone         Stone's shuffle-based bitonic sorter (register model)
+//	butterfly     one ascending butterfly (circuit model)
+//	cascade       ε-halver cascade, -passes controls depth (circuit)
+//	random        random levels, -depth controls depth (circuit)
+//	file:<path>   load a circuit from its text serialization
+//	regfile:<path> load a register network from its text serialization
+//
+// Operations:
+//
+//	info   print wires/depth/size and structural facts (default)
+//	check  verify sortedness: 0-1 principle for n <= 20, else random
+//	eval   run on -input "3,1,2,..." (or a random permutation)
+//	dot    emit Graphviz
+//	ascii  draw a Knuth-style wire diagram (small networks)
+//	text   emit the line-oriented text serialization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/delta"
+	"shufflenet/internal/halver"
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/shuffle"
+	"shufflenet/internal/sortcheck"
+)
+
+func main() {
+	family := flag.String("net", "bitonic", "network family (see doc)")
+	n := flag.Int("n", 16, "number of wires")
+	op := flag.String("op", "info", "info | check | eval | dot | ascii | text")
+	input := flag.String("input", "", "comma-separated input for -op eval")
+	passes := flag.Int("passes", 4, "passes for -net cascade")
+	depth := flag.Int("depth", 8, "depth for -net random")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	var circ *network.Network
+	var reg *network.Register
+	switch *family {
+	case "bitonic":
+		circ = netbuild.Bitonic(*n)
+	case "oddeven":
+		circ = netbuild.OddEvenMergeSort(*n)
+	case "transposition":
+		circ = netbuild.OddEvenTransposition(*n)
+	case "insertion":
+		circ = netbuild.Insertion(*n)
+	case "pratt":
+		circ = netbuild.Pratt(*n)
+	case "mergeexchange":
+		circ = netbuild.MergeExchange(*n)
+	case "stone":
+		reg = shuffle.Bitonic(*n)
+	case "butterfly":
+		circ = delta.Butterfly(bits.Lg(*n)).ToNetwork()
+	case "cascade":
+		circ = halver.Cascade(*n, *passes, rng)
+	case "random":
+		circ = netbuild.RandomLevels(*n, *depth, rng)
+	default:
+		switch {
+		case strings.HasPrefix(*family, "file:"):
+			f, err := os.Open(strings.TrimPrefix(*family, "file:"))
+			if err != nil {
+				fail(err.Error())
+			}
+			circ, err = network.ReadText(f)
+			f.Close()
+			if err != nil {
+				fail("parse: " + err.Error())
+			}
+			*n = circ.Wires()
+		case strings.HasPrefix(*family, "regfile:"):
+			f, err := os.Open(strings.TrimPrefix(*family, "regfile:"))
+			if err != nil {
+				fail(err.Error())
+			}
+			reg, err = network.ReadRegisterText(f)
+			f.Close()
+			if err != nil {
+				fail("parse: " + err.Error())
+			}
+			*n = reg.Registers()
+		default:
+			fail("unknown family " + *family)
+		}
+	}
+
+	switch *op {
+	case "info":
+		if reg != nil {
+			fmt.Println(reg)
+			fmt.Printf("model: register; every step's permutation is the perfect shuffle: %v\n", reg.IsShuffleBased())
+			c, _ := network.FromRegister(reg)
+			fmt.Printf("equivalent circuit: %v\n", c)
+			return
+		}
+		fmt.Println(circ)
+		if bits.IsPow2(circ.Wires()) && circ.Depth() == bits.Lg(circ.Wires()) {
+			fmt.Printf("reverse delta topology: %v; delta topology: %v\n",
+				delta.IsReverseDelta(circ), delta.IsDelta(circ))
+		}
+	case "check":
+		ev := evaluator()
+		if reg != nil {
+			ev.r = reg
+		} else {
+			ev.c = circ
+		}
+		width := *n
+		if width <= 20 {
+			ok, w := sortcheck.ZeroOne(width, ev, 0)
+			report(ok, w, "0-1 principle, exhaustive")
+		} else {
+			ok, w := sortcheck.RandomPerms(width, 1000, ev, rng)
+			report(ok, w, "randomized (1000 permutations; cannot prove sortedness)")
+		}
+	case "eval":
+		var in []int
+		if *input != "" {
+			for _, f := range strings.Split(*input, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fail("bad input: " + err.Error())
+				}
+				in = append(in, v)
+			}
+		} else {
+			in = []int(perm.Random(*n, rng))
+		}
+		fmt.Printf("in:  %v\n", in)
+		var out []int
+		if reg != nil {
+			out = reg.Eval(in)
+		} else {
+			out = circ.Eval(in)
+		}
+		fmt.Printf("out: %v\n", out)
+		fmt.Printf("sorted: %v\n", sortcheck.IsSorted(out))
+	case "dot":
+		if circ == nil {
+			circ, _ = network.FromRegister(reg)
+		}
+		if err := circ.WriteDOT(os.Stdout, *family); err != nil {
+			fail(err.Error())
+		}
+	case "ascii":
+		if circ == nil {
+			circ, _ = network.FromRegister(reg)
+		}
+		if err := circ.WriteASCII(os.Stdout); err != nil {
+			fail(err.Error())
+		}
+	case "text":
+		if circ == nil {
+			circ, _ = network.FromRegister(reg)
+		}
+		if err := circ.WriteText(os.Stdout); err != nil {
+			fail(err.Error())
+		}
+	default:
+		fail("unknown op " + *op)
+	}
+}
+
+type ev struct {
+	c *network.Network
+	r *network.Register
+}
+
+func evaluator() *ev { return &ev{} }
+
+func (e *ev) Eval(in []int) []int {
+	if e.r != nil {
+		return e.r.Eval(in)
+	}
+	return e.c.Eval(in)
+}
+
+func report(ok bool, w []int, method string) {
+	if ok {
+		fmt.Printf("sorting network: yes (%s)\n", method)
+		return
+	}
+	fmt.Printf("sorting network: NO (%s)\nwitness input: %v\n", method, w)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "snet:", msg)
+	os.Exit(1)
+}

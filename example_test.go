@@ -1,0 +1,84 @@
+package shufflenet_test
+
+import (
+	"fmt"
+
+	"shufflenet"
+)
+
+// Build Batcher's bitonic sorter and sort a slice.
+func ExampleBitonic() {
+	c := shufflenet.Bitonic(8)
+	out := c.Eval([]int{5, 2, 7, 0, 6, 1, 4, 3})
+	fmt.Println(out)
+	fmt.Println("depth:", c.Depth(), "size:", c.Size())
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+	// depth: 6 size: 24
+}
+
+// Stone's realization keeps every inter-step permutation the perfect
+// shuffle — the paper's network class.
+func ExampleShuffleBitonic() {
+	r := shufflenet.ShuffleBitonic(8)
+	fmt.Println("steps:", r.Depth(), "shuffle-based:", r.IsShuffleBased())
+	fmt.Println(r.Eval([]int{7, 6, 5, 4, 3, 2, 1, 0}))
+	// Output:
+	// steps: 9 shuffle-based: true
+	// [0 1 2 3 4 5 6 7]
+}
+
+// The 0-1 principle decides sorting-network-hood exactly.
+func ExampleIsSortingNetwork() {
+	full := shufflenet.Bitonic(8)
+	ok, _ := shufflenet.IsSortingNetwork(full)
+	fmt.Println("full bitonic sorts:", ok)
+
+	truncated := full.Truncate(3)
+	ok, witness := shufflenet.IsSortingNetwork(truncated)
+	fmt.Println("truncated sorts:", ok, "witness is 0-1:", len(witness) == 8)
+	// Output:
+	// full bitonic sorts: true
+	// truncated sorts: false witness is 0-1: true
+}
+
+// The paper's lower bound, end to end: two butterfly blocks cannot
+// sort, and the adversary hands over a verifiable witness pair.
+func ExampleAdversary() {
+	it := shufflenet.NewIteratedRDN(64)
+	it.AddBlock(nil, shufflenet.Butterfly(6))
+	it.AddBlock(shufflenet.Shuffle(64), shufflenet.Butterfly(6))
+
+	an := shufflenet.Adversary(it)
+	cert, err := shufflenet.ExtractCertificate(an)
+	if err != nil {
+		fmt.Println("no certificate:", err)
+		return
+	}
+	circ, _ := it.ToNetwork()
+	fmt.Println("certificate verifies:", cert.Verify(circ) == nil)
+	fmt.Println("uncompared adjacent values:", cert.M, "and", cert.M+1)
+	// Output:
+	// certificate verifies: true
+	// uncompared adjacent values: 22 and 23
+}
+
+// Recover the reverse delta structure from a bare circuit and attack it.
+func ExampleDecomposeIterated() {
+	// Flatten a known iterated RDN into an anonymous circuit...
+	it := shufflenet.NewIteratedRDN(32)
+	it.AddBlock(nil, shufflenet.Butterfly(5))
+	it.AddBlock(shufflenet.Shuffle(32), shufflenet.Butterfly(5))
+	circ, _ := it.ToNetwork()
+
+	// ...and recover the structure from the circuit alone.
+	recovered, ok := shufflenet.DecomposeIterated(circ, 5)
+	fmt.Println("recovered:", ok, "blocks:", recovered.Blocks())
+
+	an := shufflenet.Adversary(recovered)
+	cert, _ := shufflenet.ExtractCertificate(an)
+	fmt.Println("certificate verifies against the circuit:", cert.Verify(circ) == nil)
+	// Output:
+	// recovered: true blocks: 2
+	// certificate verifies against the circuit: true
+}

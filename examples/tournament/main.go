@@ -1,0 +1,62 @@
+// Tournament: the structural insight behind the proof (Section 2).
+//
+// A reverse delta network is a "tournament": two disjoint
+// sub-tournaments followed by one cross-level. An observer who sees all
+// comparison outcomes inside the two sub-networks learns NOTHING about
+// the relative order of values in different sub-networks — this
+// disjointness is what lets the adversary keep large sets of
+// never-compared adjacent values.
+//
+// This example makes the disjointness concrete with the Section 3
+// pattern machinery: we place two M₀ symbols on chosen slots of a
+// butterfly and report whether — and at which level — their values can
+// ever be compared.
+package main
+
+import (
+	"fmt"
+
+	"shufflenet/internal/delta"
+	"shufflenet/internal/network"
+	"shufflenet/internal/pattern"
+)
+
+func main() {
+	const l = 4 // butterfly levels; n = 16
+	bf := delta.Butterfly(l)
+	circ := bf.ToNetwork()
+	n := bf.Inputs()
+
+	fmt.Printf("butterfly: %d levels on %d slots — level i compares slots differing in bit i\n", l, n)
+	fmt.Printf("reverse delta topology: %v, delta topology: %v (both — the butterfly is the unique such network)\n\n",
+		delta.IsReverseDelta(circ), delta.IsDelta(circ))
+
+	show(circ, n, 0, n/2, "opposite top-level sub-tournaments")
+	show(circ, n, 0, 1, "same innermost pair")
+	show(circ, n, 0, 2, "same top half, adjacent 2-blocks")
+	show(circ, n, 3, 13, "opposite halves, scrambled low bits")
+
+	fmt.Println("\nthe adversary (internal/core) industrializes exactly this: it maintains")
+	fmt.Println("~lg³n disjoint sets of mutually-uncompared wires and re-matches them at")
+	fmt.Println("every level, losing only an l/lg²n fraction overall (Lemma 4.1)")
+}
+
+// show places M0 on wires a and b (S0 elsewhere) and reports the first
+// level at which the two tracked values can meet, if any.
+func show(circ *network.Network, n, a, b int, label string) {
+	p := pattern.Uniform(n, pattern.S(0))
+	p[a], p[b] = pattern.M(0), pattern.M(0)
+	res := pattern.EvalTrace(circ, p)
+	level := -1
+	for _, ev := range res.Events {
+		if ev.Ambiguous && ev.SymA == pattern.M(0) {
+			level = ev.Level
+			break
+		}
+	}
+	if level < 0 {
+		fmt.Printf("slots %2d,%2d (%s): never compared — a noncolliding pair\n", a, b, label)
+		return
+	}
+	fmt.Printf("slots %2d,%2d (%s): first possible comparison at level %d\n", a, b, label, level+1)
+}

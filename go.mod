@@ -1,0 +1,3 @@
+module shufflenet
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package benes implements the Beneš rearrangeable network and its
+// looping (cycle-coloring) routing algorithm.
+//
+// The paper's Definition 3.4 composes consecutive reverse delta
+// networks with arbitrary fixed permutations between them; this package
+// is the constructive realization of "arbitrary fixed permutation" as
+// an explicit switching network: Route(target) returns a register-model
+// network containing only "0"/"1" (pass/exchange) elements — no
+// comparators — that moves the value in register i to register
+// target[i], for every input, using 2·lg n − 1 switch columns.
+package benes
+
+import (
+	"fmt"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Columns returns the number of switch columns of a Beneš network on
+// n = 2^d inputs: 2d − 1.
+func Columns(n int) int {
+	return 2*bits.Lg(n) - 1
+}
+
+// Route returns a register-model network of pass/exchange elements
+// realizing the permutation target on n = 2^d registers: for all
+// inputs x and all i, Route(target).Eval(x)[target[i]] == x[i].
+// The network contains no comparators (Size() == 0), and its depth is
+// 2d + 1 steps (2d − 1 switch columns plus the two shuffle wirings
+// around the recursion, which carry no switches).
+func Route(target perm.Perm) *network.Register {
+	n := target.Len()
+	bits.Lg(n)
+	target.MustValid()
+	r := route(target)
+	// Sanity: replaying the switches must realize the permutation.
+	probe := make([]int, n)
+	for i := range probe {
+		probe[i] = i
+	}
+	out := r.Eval(probe)
+	for i := range probe {
+		if out[target[i]] != i {
+			panic(fmt.Sprintf("benes.Route: internal: switch settings do not realize %v (got %v)", target, out))
+		}
+	}
+	return r
+}
+
+func route(target perm.Perm) *network.Register {
+	n := target.Len()
+	r := network.NewRegister(n)
+	if n == 2 {
+		ops := []network.Op{network.OpNone}
+		if target[0] == 1 {
+			ops[0] = network.OpSwap
+		}
+		r.AddStep(network.Step{Ops: ops})
+		return r
+	}
+	h := n / 2
+
+	// Looping algorithm. inSide[x] = subnet (0 top / 1 bottom) carrying
+	// input x; outSide[y] likewise for output y. Constraints: the two
+	// inputs of an input switch use different subnets, as do the two
+	// outputs of an output switch, and inSide[x] == outSide[target[x]].
+	inv := target.Inverse()
+	inSide := make([]int, n)
+	for i := range inSide {
+		inSide[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if inSide[start] != -1 {
+			continue
+		}
+		// Walk the cycle: fixing input x to side s forces its switch
+		// partner x^1 to side 1−s; the other output of x^1's output
+		// switch must then come from side s again, so follow to that
+		// input and repeat until the cycle closes.
+		for x := start; inSide[x] == -1; x = inv[target[x^1]^1] {
+			inSide[x] = 0
+			inSide[x^1] = 1
+		}
+	}
+
+	// Column A: exchange so register 2i holds the side-0 value.
+	opsA := make([]network.Op, h)
+	for i := 0; i < h; i++ {
+		if inSide[2*i] == 1 {
+			opsA[i] = network.OpSwap
+		}
+	}
+	r.AddStep(network.Step{Ops: opsA})
+
+	// Wire into subnets: 2i -> i (top), 2i+1 -> h+i (bottom). This is
+	// exactly the unshuffle.
+	r.AddStep(network.Step{Pi: perm.Unshuffle(n)})
+
+	// Subnet permutations: subnet s must send its slot i (from input
+	// switch i) to slot target[x]/2 (toward output switch target[x]/2),
+	// where x is the side-s input of switch i.
+	sub := [2]perm.Perm{make(perm.Perm, h), make(perm.Perm, h)}
+	for i := 0; i < h; i++ {
+		for b := 0; b < 2; b++ {
+			x := 2*i + b
+			s := inSide[x]
+			sub[s][i] = target[x] / 2
+		}
+	}
+	top, bot := route(sub[0]), route(sub[1])
+	appendParallel(r, top, bot)
+
+	// Wire out of subnets: i -> 2i, h+i -> 2i+1: the shuffle.
+	r.AddStep(network.Step{Pi: perm.Shuffle(n)})
+
+	// Column C: register 2j now holds the side-0 value destined for
+	// output switch j; swap if that value's target is 2j+1.
+	opsC := make([]network.Op, h)
+	for j := 0; j < h; j++ {
+		// The side-0 value arriving at switch j is the input x with
+		// inSide[x] == 0 and target[x]/2 == j; it must land at target[x].
+		// Equivalently: output 2j comes from side outSide[2j] where
+		// outSide[y] = inSide[inv[y]].
+		if inSide[inv[2*j]] == 1 {
+			opsC[j] = network.OpSwap
+		}
+	}
+	r.AddStep(network.Step{Ops: opsC})
+	return r
+}
+
+// appendParallel appends the steps of two equal-depth register networks
+// side by side: a on the low registers, b on the high ones.
+func appendParallel(r *network.Register, a, b *network.Register) {
+	if a.Depth() != b.Depth() {
+		panic(fmt.Sprintf("benes: subnetwork depths differ: %d vs %d", a.Depth(), b.Depth()))
+	}
+	ha, hb := a.Registers(), b.Registers()
+	n := ha + hb
+	for s := 0; s < a.Depth(); s++ {
+		sa, sb := a.Steps()[s], b.Steps()[s]
+		var pi perm.Perm
+		if sa.Pi != nil || sb.Pi != nil {
+			pi = make(perm.Perm, n)
+			for i := 0; i < ha; i++ {
+				if sa.Pi != nil {
+					pi[i] = sa.Pi[i]
+				} else {
+					pi[i] = i
+				}
+			}
+			for i := 0; i < hb; i++ {
+				if sb.Pi != nil {
+					pi[ha+i] = ha + sb.Pi[i]
+				} else {
+					pi[ha+i] = ha + i
+				}
+			}
+		}
+		ops := make([]network.Op, n/2)
+		if sa.Ops != nil {
+			copy(ops, sa.Ops)
+		}
+		if sb.Ops != nil {
+			copy(ops[ha/2:], sb.Ops)
+		}
+		r.AddStep(network.Step{Pi: pi, Ops: ops})
+	}
+}

@@ -1,0 +1,142 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/perm"
+)
+
+func checkRoutes(t *testing.T, target perm.Perm) {
+	t.Helper()
+	n := target.Len()
+	r := Route(target)
+	if r.Size() != 0 {
+		t.Fatalf("Beneš network contains %d comparators; must be switch-only", r.Size())
+	}
+	in := make([]int, n)
+	for i := range in {
+		in[i] = 100 + i
+	}
+	out := r.Eval(in)
+	for i := range in {
+		if out[target[i]] != in[i] {
+			t.Fatalf("n=%d: input %d should reach %d; out=%v target=%v", n, i, target[i], out, target)
+		}
+	}
+}
+
+func TestRouteIdentity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 32} {
+		checkRoutes(t, perm.Identity(n))
+	}
+}
+
+func TestRouteNamedPermutations(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64} {
+		checkRoutes(t, perm.Shuffle(n))
+		checkRoutes(t, perm.Unshuffle(n))
+		checkRoutes(t, perm.BitReversal(n))
+		checkRoutes(t, perm.BitFlip(n, 0))
+	}
+}
+
+func TestRouteReversal(t *testing.T) {
+	n := 16
+	p := make(perm.Perm, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	checkRoutes(t, p)
+}
+
+func TestRouteAllPermutationsN4(t *testing.T) {
+	// Rearrangeability: every permutation of 4 elements must route.
+	var rec func(p []int, used []bool)
+	var count int
+	rec = func(p []int, used []bool) {
+		if len(p) == 4 {
+			checkRoutes(t, perm.Perm(append([]int(nil), p...)))
+			count++
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(p, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, 4))
+	if count != 24 {
+		t.Fatalf("enumerated %d permutations", count)
+	}
+}
+
+func TestRouteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		for trial := 0; trial < 5; trial++ {
+			checkRoutes(t, perm.Random(n, rng))
+		}
+	}
+}
+
+func TestRouteQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		target := perm.Random(32, rand.New(rand.NewSource(seed)))
+		r := Route(target)
+		in := make([]int, 32)
+		for i := range in {
+			in[i] = i * 3
+		}
+		out := r.Eval(in)
+		for i := range in {
+			if out[target[i]] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumns(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 3, 8: 5, 1024: 19}
+	for n, want := range cases {
+		if got := Columns(n); got != want {
+			t.Errorf("Columns(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRouteDepth(t *testing.T) {
+	// Depth in register steps: switch columns plus shuffle wirings.
+	// For n = 2^d the recursion yields 2d-1 switch columns and 2(d-1)
+	// wiring steps: total 4d - 3.
+	for _, n := range []int{2, 4, 8, 32} {
+		d := bits.Lg(n)
+		r := Route(perm.Identity(n))
+		if got, want := r.Depth(), 4*d-3; got != want {
+			t.Errorf("n=%d: depth %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRouteRejectsBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-pow2", func() { Route(perm.Identity(6)) })
+	mustPanic("invalid perm", func() { Route(perm.Perm{0, 0, 1, 2}) })
+}

@@ -1,0 +1,143 @@
+// Package bits provides the bit-manipulation kernel underlying all
+// hypercubic index arithmetic in shufflenet.
+//
+// Every network in this repository (shuffle-exchange, butterfly, Beneš,
+// reverse delta) addresses its wires by the binary representation of the
+// wire index. This package centralizes the handful of operations the
+// paper's definitions are phrased in: base-2 logarithms of powers of two,
+// bit reversal, cyclic bit rotation (the shuffle permutation acts on
+// indices as a left rotation of the bit string), and bit extraction.
+package bits
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Lg returns the base-2 logarithm of n. It panics if n is not a
+// positive power of two; network code relies on exact logarithms.
+func Lg(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("bits.Lg: %d is not a positive power of two", n))
+	}
+	return mathbits.TrailingZeros(uint(n))
+}
+
+// CeilLg returns ceil(log2(n)) for n >= 1. It panics for n < 1.
+func CeilLg(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("bits.CeilLg: n = %d < 1", n))
+	}
+	return mathbits.Len(uint(n - 1))
+}
+
+// FloorLg returns floor(log2(n)) for n >= 1. It panics for n < 1.
+func FloorLg(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("bits.FloorLg: n = %d < 1", n))
+	}
+	return mathbits.Len(uint(n)) - 1
+}
+
+// Pow2 returns 2^k for 0 <= k < 63. It panics outside that range.
+func Pow2(k int) int {
+	if k < 0 || k >= 63 {
+		panic(fmt.Sprintf("bits.Pow2: exponent %d out of range [0,63)", k))
+	}
+	return 1 << uint(k)
+}
+
+// Bit returns bit k (0 = least significant) of x as 0 or 1.
+func Bit(x, k int) int {
+	return (x >> uint(k)) & 1
+}
+
+// SetBit returns x with bit k set to b (which must be 0 or 1).
+func SetBit(x, k, b int) int {
+	if b != 0 && b != 1 {
+		panic(fmt.Sprintf("bits.SetBit: bit value %d not in {0,1}", b))
+	}
+	return (x &^ (1 << uint(k))) | (b << uint(k))
+}
+
+// FlipBit returns x with bit k complemented.
+func FlipBit(x, k int) int {
+	return x ^ (1 << uint(k))
+}
+
+// Reverse returns the reversal of the d-bit string representing x,
+// i.e. bit i of the result equals bit d-1-i of x. x must satisfy
+// 0 <= x < 2^d.
+func Reverse(x, d int) int {
+	checkWidth(x, d, "Reverse")
+	r := 0
+	for i := 0; i < d; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// RotLeft rotates the d-bit string representing x left by one position:
+// j_{d-1} j_{d-2} ... j_0 becomes j_{d-2} ... j_0 j_{d-1}. This is
+// exactly the action of the shuffle permutation on wire indices
+// (Section 1 of the paper).
+func RotLeft(x, d int) int {
+	checkWidth(x, d, "RotLeft")
+	if d == 0 {
+		return 0
+	}
+	hi := x >> uint(d-1)
+	return ((x << 1) &^ (1 << uint(d))) | hi
+}
+
+// RotRight rotates the d-bit string representing x right by one
+// position; it is the inverse of RotLeft and the index action of the
+// unshuffle permutation.
+func RotRight(x, d int) int {
+	checkWidth(x, d, "RotRight")
+	if d == 0 {
+		return 0
+	}
+	lo := x & 1
+	return (x >> 1) | (lo << uint(d-1))
+}
+
+// RotLeftBy rotates the d-bit string x left by k positions (k may be
+// any integer; it is taken modulo d).
+func RotLeftBy(x, d, k int) int {
+	checkWidth(x, d, "RotLeftBy")
+	if d == 0 {
+		return 0
+	}
+	k = ((k % d) + d) % d
+	for i := 0; i < k; i++ {
+		x = RotLeft(x, d)
+	}
+	return x
+}
+
+// OnesCount returns the number of set bits in x (x >= 0).
+func OnesCount(x int) int {
+	return mathbits.OnesCount(uint(x))
+}
+
+// GrayCode returns the binary-reflected Gray code of x.
+func GrayCode(x int) int {
+	return x ^ (x >> 1)
+}
+
+// checkWidth panics if x does not fit in d bits or if d is negative.
+func checkWidth(x, d int, op string) {
+	if d < 0 || d >= 63 {
+		panic(fmt.Sprintf("bits.%s: width %d out of range [0,63)", op, d))
+	}
+	if x < 0 || x >= 1<<uint(d) && !(d == 0 && x == 0) {
+		panic(fmt.Sprintf("bits.%s: value %d does not fit in %d bits", op, x, d))
+	}
+}

@@ -1,0 +1,206 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	cases := map[int]bool{
+		-8: false, -1: false, 0: false,
+		1: true, 2: true, 3: false, 4: true, 6: false,
+		1024: true, 1025: false, 1 << 40: true,
+	}
+	for n, want := range cases {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLg(t *testing.T) {
+	for k := 0; k < 40; k++ {
+		if got := Lg(1 << uint(k)); got != k {
+			t.Errorf("Lg(2^%d) = %d", k, got)
+		}
+	}
+}
+
+func TestLgPanicsOnNonPow2(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lg(%d) did not panic", n)
+				}
+			}()
+			Lg(n)
+		}()
+	}
+}
+
+func TestCeilFloorLg(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{7, 3, 2}, {8, 3, 3}, {9, 4, 3}, {1023, 10, 9}, {1024, 10, 10},
+	}
+	for _, c := range cases {
+		if got := CeilLg(c.n); got != c.ceil {
+			t.Errorf("CeilLg(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+		if got := FloorLg(c.n); got != c.floor {
+			t.Errorf("FloorLg(%d) = %d, want %d", c.n, got, c.floor)
+		}
+	}
+}
+
+func TestPow2RoundTrip(t *testing.T) {
+	for k := 0; k < 62; k++ {
+		if got := Lg(Pow2(k)); got != k {
+			t.Errorf("Lg(Pow2(%d)) = %d", k, got)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	x := 0b101101
+	if Bit(x, 0) != 1 || Bit(x, 1) != 0 || Bit(x, 5) != 1 || Bit(x, 6) != 0 {
+		t.Errorf("Bit extraction wrong for %b", x)
+	}
+	if got := SetBit(x, 1, 1); got != 0b101111 {
+		t.Errorf("SetBit(%b,1,1) = %b", x, got)
+	}
+	if got := SetBit(x, 0, 0); got != 0b101100 {
+		t.Errorf("SetBit(%b,0,0) = %b", x, got)
+	}
+	if got := FlipBit(x, 2); got != 0b101001 {
+		t.Errorf("FlipBit(%b,2) = %b", x, got)
+	}
+}
+
+func TestReverseExamples(t *testing.T) {
+	cases := []struct{ x, d, want int }{
+		{0b001, 3, 0b100},
+		{0b110, 3, 0b011},
+		{0b1011, 4, 0b1101},
+		{0, 5, 0},
+		{0b11111, 5, 0b11111},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.x, c.d); got != c.want {
+			t.Errorf("Reverse(%b, %d) = %b, want %b", c.x, c.d, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(x uint16) bool {
+		v := int(x) & 0x3ff // 10 bits
+		return Reverse(Reverse(v, 10), 10) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotLeftExamples(t *testing.T) {
+	cases := []struct{ x, d, want int }{
+		{0b100, 3, 0b001},
+		{0b101, 3, 0b011},
+		{0b0111, 4, 0b1110},
+		{0b1110, 4, 0b1101},
+		{1, 1, 1},
+		{0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := RotLeft(c.x, c.d); got != c.want {
+			t.Errorf("RotLeft(%b, %d) = %b, want %b", c.x, c.d, got, c.want)
+		}
+	}
+}
+
+func TestRotInverse(t *testing.T) {
+	f := func(x uint16) bool {
+		v := int(x) & 0xfff // 12 bits
+		return RotRight(RotLeft(v, 12), 12) == v && RotLeft(RotRight(v, 12), 12) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotLeftFullCycleIsIdentity(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		for x := 0; x < 1<<uint(d); x++ {
+			v := x
+			for i := 0; i < d; i++ {
+				v = RotLeft(v, d)
+			}
+			if v != x {
+				t.Fatalf("d=%d: RotLeft^d(%d) = %d", d, x, v)
+			}
+		}
+	}
+}
+
+func TestRotLeftBy(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		for x := 0; x < 1<<uint(d); x++ {
+			want := x
+			for k := 0; k <= 2*d; k++ {
+				if got := RotLeftBy(x, d, k); got != want {
+					t.Fatalf("RotLeftBy(%d, %d, %d) = %d, want %d", x, d, k, got, want)
+				}
+				want = RotLeft(want, d)
+			}
+			// Negative rotation equals rotation by d-|k| mod d.
+			if got, want := RotLeftBy(x, d, -1), RotLeftBy(x, d, d-1); got != want {
+				t.Fatalf("RotLeftBy(%d,%d,-1) = %d, want %d", x, d, got, want)
+			}
+		}
+	}
+}
+
+// RotLeft coincides with a shift of the reversal: rotating left is
+// reversing, rotating right, reversing. A structural cross-check
+// between the two primitives.
+func TestRotateReverseDuality(t *testing.T) {
+	const d = 9
+	for x := 0; x < 1<<d; x++ {
+		if got, want := RotLeft(x, d), Reverse(RotRight(Reverse(x, d), d), d); got != want {
+			t.Fatalf("duality failed at %d: %d vs %d", x, got, want)
+		}
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if OnesCount(0) != 0 || OnesCount(0b1011) != 3 || OnesCount(255) != 8 {
+		t.Error("OnesCount wrong")
+	}
+}
+
+func TestGrayCodeAdjacent(t *testing.T) {
+	for x := 0; x < 1<<12-1; x++ {
+		if d := OnesCount(GrayCode(x) ^ GrayCode(x+1)); d != 1 {
+			t.Fatalf("Gray codes of %d and %d differ in %d bits", x, x+1, d)
+		}
+	}
+}
+
+func TestWidthChecks(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Reverse too wide", func() { Reverse(8, 3) })
+	mustPanic("RotLeft negative", func() { RotLeft(-1, 3) })
+	mustPanic("Pow2 negative", func() { Pow2(-1) })
+	mustPanic("SetBit bad bit", func() { SetBit(0, 1, 2) })
+	mustPanic("CeilLg zero", func() { CeilLg(0) })
+	mustPanic("FloorLg zero", func() { FloorLg(0) })
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/pattern"
+)
+
+// Certificate is the Corollary 4.1.1 witness of non-sortability: two
+// inputs that the network maps through identical comparator outcomes,
+// differing only in a pair of adjacent values that are never compared.
+// No comparator network that behaves this way can sort both inputs.
+type Certificate struct {
+	// P is the pattern both inputs refine; its [M_0]-set is D.
+	P pattern.Pattern
+	// D is the noncolliding set the pair was drawn from.
+	D []int
+	// W0, W1 are the two chosen wires of D.
+	W0, W1 int
+	// M is the smaller of the two adjacent values: Pi[W0] = M,
+	// Pi[W1] = M+1.
+	M int
+	// Pi and PiPrime are the two concrete inputs (permutations of
+	// 0..n-1), identical except that the values M and M+1 are swapped
+	// between wires W0 and W1.
+	Pi, PiPrime []int
+}
+
+// ErrSetTooSmall is returned when the surviving noncolliding set has
+// fewer than two wires, so no certificate can be extracted — the
+// adversary ran out of depth (the network may well be a sorting
+// network).
+var ErrSetTooSmall = errors.New("core: noncolliding set has fewer than two wires")
+
+// Certificate extracts the Corollary 4.1.1 witness from the analysis.
+func (an *Analysis) Certificate() (*Certificate, error) {
+	if len(an.D) < 2 {
+		return nil, ErrSetTooSmall
+	}
+	pi := an.P.RefineToInput(nil)
+	// All D wires carry M_0, so their values form a block of adjacent
+	// integers; pick the two smallest.
+	w0, w1 := an.D[0], an.D[1]
+	for _, w := range an.D {
+		if pi[w] < pi[w0] {
+			w1, w0 = w0, w
+		} else if w != w0 && pi[w] < pi[w1] {
+			w1 = w
+		}
+	}
+	if pi[w1] != pi[w0]+1 {
+		return nil, fmt.Errorf("core: values on chosen wires not adjacent: %d, %d", pi[w0], pi[w1])
+	}
+	piPrime := append([]int(nil), pi...)
+	piPrime[w0], piPrime[w1] = piPrime[w1], piPrime[w0]
+	return &Certificate{
+		P: an.P.Clone(), D: append([]int(nil), an.D...),
+		W0: w0, W1: w1, M: pi[w0],
+		Pi: pi, PiPrime: piPrime,
+	}, nil
+}
+
+// Verify replays the certificate against an independently flattened
+// circuit of the network and checks the complete Corollary 4.1.1
+// argument:
+//
+//  1. Pi and PiPrime are permutations refining P, identical except for
+//     the swap of M and M+1 on wires W0, W1 in D;
+//  2. the values M and M+1 are never compared on either run;
+//  3. the network performs the same permutation on both inputs (outputs
+//     agree except that the rails of M and M+1 are exchanged).
+//
+// From (3) the network cannot sort both inputs under any fixed output
+// labeling, so a nil error proves the circuit is not a sorting network.
+func (c *Certificate) Verify(circuit *network.Network) error {
+	n := circuit.Wires()
+	if len(c.Pi) != n || len(c.PiPrime) != n {
+		return fmt.Errorf("certificate width %d != circuit width %d", len(c.Pi), n)
+	}
+	if !isPermutation(c.Pi) || !isPermutation(c.PiPrime) {
+		return errors.New("certificate inputs are not permutations")
+	}
+	if !c.P.RefinesInput(c.Pi) || !c.P.RefinesInput(c.PiPrime) {
+		return errors.New("certificate inputs do not refine the pattern")
+	}
+	if c.Pi[c.W0] != c.M || c.Pi[c.W1] != c.M+1 ||
+		c.PiPrime[c.W0] != c.M+1 || c.PiPrime[c.W1] != c.M {
+		return errors.New("certificate swap is malformed")
+	}
+	for w := 0; w < n; w++ {
+		if w != c.W0 && w != c.W1 && c.Pi[w] != c.PiPrime[w] {
+			return fmt.Errorf("inputs differ on wire %d outside the swapped pair", w)
+		}
+	}
+
+	out1, tr1 := circuit.EvalTrace(c.Pi)
+	out2, tr2 := circuit.EvalTrace(c.PiPrime)
+	for _, tr := range [][]network.Comparison{tr1, tr2} {
+		for _, cp := range tr {
+			if cp.Lo() == c.M && cp.Hi() == c.M+1 {
+				return fmt.Errorf("values %d and %d were compared at level %d", c.M, c.M+1, cp.Level)
+			}
+		}
+	}
+
+	// Outputs must agree except for the two rails carrying M and M+1,
+	// which must be exchanged.
+	diff := 0
+	for r := 0; r < n; r++ {
+		if out1[r] == out2[r] {
+			continue
+		}
+		diff++
+		swapped := (out1[r] == c.M && out2[r] == c.M+1) ||
+			(out1[r] == c.M+1 && out2[r] == c.M)
+		if !swapped {
+			return fmt.Errorf("outputs differ at rail %d in values other than the pair", r)
+		}
+	}
+	if diff != 2 {
+		return fmt.Errorf("outputs differ at %d rails, want exactly 2", diff)
+	}
+	return nil
+}
+
+func isPermutation(xs []int) bool {
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if v < 0 || v >= len(xs) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+// Package core implements the paper's contribution: the lower-bound
+// adversary of Section 4, made constructive.
+//
+// Lemma41 executes the induction of Lemma 4.1 on a reverse delta
+// network: starting from a pattern over {S_0, M_0, L_0}, it maintains a
+// collection of t(l) = k³ + l·k² noncolliding [M_i]-sets through the
+// network, computing at every node the collision sets C_{i,j}, the
+// averaging offset i₀ minimizing |L_{i₀}|, the partial matching between
+// the two sub-networks' collections, and the order-preserving renamings
+// (steps 1, 2, 1', 2' of the paper) that realize the matching as a
+// pattern refinement.
+//
+// Theorem41 iterates Lemma41 across the blocks of an iterated reverse
+// delta network, between blocks renaming the largest surviving set to
+// M_0 via Lemma 3.4's ρ_i and discarding the rest.
+//
+// Certificate turns the surviving set into the Corollary 4.1.1 witness:
+// two concrete inputs π, π′ differing in a pair of adjacent values that
+// the network never compares, so it cannot sort both. Verify replays
+// both inputs through an independent evaluation of the network and
+// checks every step of that argument.
+package core
+
+import (
+	"fmt"
+
+	"shufflenet/internal/delta"
+	"shufflenet/internal/pattern"
+)
+
+// LemmaResult is the outcome of Lemma41 on one reverse delta tree.
+type LemmaResult struct {
+	// Q is the refined input pattern over the tree's slots: an
+	// A-refinement of the input pattern (paper notation: p ⊐_A q).
+	Q pattern.Pattern
+	// Sets maps set index i to the [M_i]-set of Q (input slots).
+	// Only nonempty sets are present; every index is < T.
+	Sets map[int][]int
+	// T is t(l) = k³ + l·k², the bound on the number of sets.
+	T int
+	// OutWire[o] is the input slot whose value reaches output slot o
+	// under Q (exact for all tracked wires).
+	OutWire []int
+	// Survivors is |B| = Σ|Sets[i]|; Initial is |A|.
+	Survivors, Initial int
+	// xNext is the next unused X subscript (internal bookkeeping,
+	// exported via method only).
+	xNext int
+}
+
+// OutPattern returns the output pattern Λ(Q): the symbol on each output
+// slot.
+func (r *LemmaResult) OutPattern() pattern.Pattern {
+	out := make(pattern.Pattern, len(r.OutWire))
+	for o, w := range r.OutWire {
+		out[o] = r.Q[w]
+	}
+	return out
+}
+
+// LargestSet returns the index and wires of a largest surviving set
+// (ties broken toward the smallest index), or (-1, nil) if all sets are
+// empty.
+func (r *LemmaResult) LargestSet() (int, []int) {
+	best, bestIdx := -1, -1
+	for i := 0; i < r.T; i++ {
+		s, ok := r.Sets[i]
+		if !ok {
+			continue
+		}
+		if len(s) > best {
+			best, bestIdx = len(s), i
+		}
+	}
+	if bestIdx < 0 {
+		return -1, nil
+	}
+	return bestIdx, r.Sets[bestIdx]
+}
+
+// Lemma41 runs the constructive Lemma 4.1 on the l-level reverse delta
+// tree d under input pattern p (which must use only S_0, M_0, L_0),
+// with averaging parameter k >= 1. It returns a refinement Q of p and
+// at most t(l) = k³ + l·k² disjoint noncolliding [M_i]-sets that
+// together contain at least |A|·(1 − l/k²) of the wires of the original
+// [M_0]-set A.
+func Lemma41(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
+	if len(p) != d.Inputs() {
+		panic(fmt.Sprintf("core.Lemma41: pattern width %d != %d inputs", len(p), d.Inputs()))
+	}
+	if k < 1 {
+		panic("core.Lemma41: k must be positive")
+	}
+	for _, s := range p {
+		if s != pattern.S(0) && s != pattern.M(0) && s != pattern.L(0) {
+			panic(fmt.Sprintf("core.Lemma41: input pattern contains %v; only S0/M0/L0 allowed", s))
+		}
+	}
+	res := lemmaRec(d, p, k)
+	// Paper invariant: |B| >= |A| - l*|A|/k².
+	if float64(res.Survivors) < float64(res.Initial)-float64(d.Levels()*res.Initial)/float64(k*k)-1e-9 {
+		panic(fmt.Sprintf("core.Lemma41: survival bound violated: |B|=%d |A|=%d l=%d k=%d",
+			res.Survivors, res.Initial, d.Levels(), k))
+	}
+	return res
+}
+
+// parallelSubtree is the sub-network size above which the two
+// sub-recursions of lemmaRec run on separate goroutines. With halving
+// sizes the spawn count is O(n / parallelSubtree), so the threshold
+// bounds goroutine overhead while exposing ~n/threshold-way
+// parallelism at the top of the recursion.
+const parallelSubtree = 1 << 11
+
+// lemmaRec is the induction of Lemma 4.1. All slot indices in the
+// result are local to d.
+func lemmaRec(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
+	k2 := k * k
+	t := func(l int) int { return k*k2 + l*k2 }
+
+	if d.Levels() == 0 {
+		// Base case: M_0 := A, all other sets empty, q := p.
+		res := &LemmaResult{
+			Q:       p.Clone(),
+			Sets:    map[int][]int{},
+			T:       t(0),
+			OutWire: []int{0},
+			Initial: 0,
+		}
+		if p[0] == pattern.M(0) {
+			res.Sets[0] = []int{0}
+			res.Survivors, res.Initial = 1, 1
+		}
+		res.xNext = 0
+		return res
+	}
+
+	h := d.Inputs() / 2
+	l := d.Levels() - 1 // sub-networks have l levels; this node is level l+1
+
+	// The two sub-recursions touch disjoint slot ranges and share no
+	// state, so above a size threshold they run concurrently. The
+	// result is bit-identical to the sequential order (all averaging
+	// ties are broken deterministically).
+	var st0, st1 *LemmaResult
+	if h >= parallelSubtree {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k)
+		}()
+		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k)
+		<-done
+	} else {
+		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k)
+		st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k)
+	}
+
+	// setOf[side][slot] = index of the set containing the slot, or -1.
+	setOf0 := indexSets(st0.Sets, h)
+	setOf1 := indexSets(st1.Sets, h)
+
+	// Final-level meetings between tracked wires: for each comparator,
+	// the values arriving are those of st.OutWire at the comparator's
+	// slots. A meeting between M_{0,i} and M_{1,j} contributes the
+	// sub0 wire to C_{i,j}; the paper's L_offset collects C_{j, j-offset}.
+	type meeting struct{ w0, j0, j1 int }
+	var meetings []meeting
+	offsetCount := make([]int, k2)
+	for _, cmp := range d.Final() {
+		w0 := st0.OutWire[cmp.O0]
+		w1 := st1.OutWire[cmp.O1]
+		j0, j1 := setOf0[w0], setOf1[w1]
+		if j0 < 0 || j1 < 0 {
+			continue
+		}
+		meetings = append(meetings, meeting{w0: w0, j0: j0, j1: j1})
+		if off := j0 - j1; off >= 0 && off < k2 {
+			offsetCount[off]++
+		}
+	}
+
+	// Averaging: choose i0 minimizing |L_{i0}|.
+	i0 := 0
+	for off := 1; off < k2; off++ {
+		if offsetCount[off] < offsetCount[i0] {
+			i0 = off
+		}
+	}
+
+	// removed: wires of C_{j, j-i0} (sub0 side), grouped by set index.
+	removed := map[int]bool{}
+	for _, m := range meetings {
+		if m.j0-m.j1 == i0 {
+			removed[m.w0] = true
+		}
+	}
+
+	// Renaming step 1 / 1' (defensive; such symbols normally absent):
+	// shift M_i / X_{i,j} with i >= t(l) (sub0) or i >= t(l)+i0 (sub1)
+	// up by k². Step 2: removed sub0 wires M_j -> X(j, j0fresh).
+	// Step 2': shift all sub1 M_i / X_{i,j} with i < t(l) up by i0.
+	xFresh := maxInt(st0.xNext, st1.xNext)
+	usedFresh := false
+
+	q := make(pattern.Pattern, d.Inputs())
+	for w := 0; w < h; w++ {
+		s := st0.Q[w]
+		s = shiftFrom(s, t(l), k2)
+		if removed[w] {
+			if s.Kind != pattern.KindM {
+				panic(fmt.Sprintf("core: removed wire %d carries %v, want an M symbol", w, s))
+			}
+			s = pattern.X(s.I, xFresh)
+			usedFresh = true
+		}
+		q[w] = s
+	}
+	for w := 0; w < h; w++ {
+		s := st1.Q[w]
+		s = shiftFrom(s, t(l)+i0, k2)
+		s = shiftBelow(s, t(l), i0)
+		q[h+w] = s
+	}
+	if usedFresh {
+		xFresh++
+	}
+
+	// Merge the collections: M_j := (M_{0,j} \ C_{j,j-i0}) ∪ M_{1,j-i0}.
+	sets := map[int][]int{}
+	for j, ws := range st0.Sets {
+		var kept []int
+		for _, w := range ws {
+			if !removed[w] {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) > 0 {
+			sets[j] = kept
+		}
+	}
+	for j, ws := range st1.Sets {
+		nj := j + i0
+		dst := sets[nj]
+		for _, w := range ws {
+			dst = append(dst, h+w)
+		}
+		sets[nj] = dst
+	}
+
+	// Output wires: sub outputs concatenated, then the final level
+	// applied with the *renamed* symbols (renamings are order-preserving
+	// so earlier routing decisions are unaffected).
+	outWire := make([]int, d.Inputs())
+	copy(outWire, st0.OutWire)
+	for o, w := range st1.OutWire {
+		outWire[h+o] = h + w
+	}
+	for _, cmp := range d.Final() {
+		oa, ob := cmp.O0, h+cmp.O1
+		sa, sb := q[outWire[oa]], q[outWire[ob]]
+		c := pattern.Compare(sa, sb)
+		if c == 0 {
+			// Ambiguous meeting: both sides must now be untracked.
+			if setOf(sets, outWire[oa]) >= 0 && setOf(sets, outWire[ob]) >= 0 {
+				panic("core: tracked wires still collide after removal")
+			}
+			continue // convention: equal symbols stay in place
+		}
+		// Route min to the MinFirst side.
+		minAtA := c < 0
+		if cmp.MinFirst != minAtA {
+			outWire[oa], outWire[ob] = outWire[ob], outWire[oa]
+		}
+	}
+
+	surv := 0
+	for _, ws := range sets {
+		surv += len(ws)
+	}
+	return &LemmaResult{
+		Q:         q,
+		Sets:      sets,
+		T:         t(l + 1),
+		OutWire:   outWire,
+		Survivors: surv,
+		Initial:   st0.Initial + st1.Initial,
+		xNext:     xFresh,
+	}
+}
+
+// indexSets builds slot -> set-index lookup for a collection.
+func indexSets(sets map[int][]int, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for j, ws := range sets {
+		for _, w := range ws {
+			if idx[w] != -1 {
+				panic(fmt.Sprintf("core: slot %d in two sets (%d and %d)", w, idx[w], j))
+			}
+			idx[w] = j
+		}
+	}
+	return idx
+}
+
+// setOf does a linear lookup of the set containing slot w (-1 if none);
+// used only on the final-level assertion path.
+func setOf(sets map[int][]int, w int) int {
+	for j, ws := range sets {
+		for _, x := range ws {
+			if x == w {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// shiftFrom shifts M_i -> M_{i+by} and X_{i,j} -> X_{i+by,j} for all
+// i >= from, leaving other symbols unchanged.
+func shiftFrom(s pattern.Symbol, from, by int) pattern.Symbol {
+	if (s.Kind == pattern.KindM || s.Kind == pattern.KindX) && s.I >= from {
+		s.I += by
+	}
+	return s
+}
+
+// shiftBelow shifts M_i -> M_{i+by} and X_{i,j} -> X_{i+by,j} for all
+// i < below, leaving other symbols unchanged.
+func shiftBelow(s pattern.Symbol, below, by int) pattern.Symbol {
+	if (s.Kind == pattern.KindM || s.Kind == pattern.KindX) && s.I < below {
+		s.I += by
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/pattern"
+)
+
+// MaxOptimalWires bounds OptimalNoncolliding's 3^n pattern enumeration.
+const MaxOptimalWires = 16
+
+// OptimalNoncolliding finds, by brute force over all 3^n patterns with
+// symbols {S_0, M_0, L_0}, a largest noncolliding [M_0]-set in the
+// circuit — the best any adversary of the paper's form could possibly
+// achieve on this network. It returns the set size, the witnessing
+// pattern, and the set itself.
+//
+// The constructive Lemma 4.1/Theorem 4.1 adversary is a lower bound on
+// this optimum; comparing the two (experiment A2) measures the
+// per-instance slack of the paper's argument. n must be at most
+// MaxOptimalWires.
+func OptimalNoncolliding(c *network.Network) (int, pattern.Pattern, []int) {
+	n := c.Wires()
+	if n > MaxOptimalWires {
+		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds %d (3^n patterns)", n, MaxOptimalWires))
+	}
+	symbols := [3]pattern.Symbol{pattern.S(0), pattern.M(0), pattern.L(0)}
+	p := make(pattern.Pattern, n)
+	var bestP pattern.Pattern
+	var bestSize int
+
+	// Enumerate base-3 assignments; prune branches that cannot beat the
+	// incumbent (remaining wires all M would still be too small).
+	var rec func(w, mCount int)
+	rec = func(w, mCount int) {
+		if mCount+(n-w) <= bestSize {
+			return // cannot beat the incumbent
+		}
+		if w == n {
+			if mCount > bestSize && pattern.Noncolliding(c, p, pattern.M(0)) {
+				bestSize = mCount
+				bestP = p.Clone()
+			}
+			return
+		}
+		// Try M first so large sets are found early (better pruning).
+		p[w] = symbols[1]
+		rec(w+1, mCount+1)
+		p[w] = symbols[0]
+		rec(w+1, mCount)
+		p[w] = symbols[2]
+		rec(w+1, mCount)
+	}
+	rec(0, 0)
+	if bestP == nil {
+		// Any singleton M-set is trivially noncolliding.
+		bestP = pattern.Uniform(n, pattern.S(0))
+		bestP[0] = pattern.M(0)
+		bestSize = 1
+	}
+	return bestSize, bestP, bestP.Set(pattern.M(0))
+}

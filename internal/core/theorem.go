@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shufflenet/internal/delta"
+	"shufflenet/internal/pattern"
+)
+
+// BlockReport records the adversary's state after one block of an
+// iterated reverse delta network.
+type BlockReport struct {
+	Block      int     // block index
+	Levels     int     // levels of the block's trees
+	Before     int     // |D| entering the block
+	Survivors  int     // |B| across all sets after the block
+	ChosenSet  int     // index i0 of the largest set kept
+	After      int     // |D| = size of the kept set
+	PaperBound float64 // n / lg^{4(d+1)} n, the Theorem 4.1 guarantee
+}
+
+// Analysis is the outcome of Theorem41: a pattern over the network's
+// original input wires whose [M_0]-set D is noncolliding in the entire
+// iterated network.
+type Analysis struct {
+	// P is the final input pattern over original input wires; it uses
+	// only S_0, M_0, L_0.
+	P pattern.Pattern
+	// D is the [M_0]-set of P: wires whose values are pairwise never
+	// compared by the network under any refinement of P.
+	D []int
+	// Reports describes the per-block evolution.
+	Reports []BlockReport
+	// K is the averaging parameter used (lg n unless overridden).
+	K int
+}
+
+// Theorem41 runs the constructive Theorem 4.1 on an iterated reverse
+// delta network: it pushes a pattern through the blocks, applying
+// Lemma41 to every tree of every block and keeping, after each block,
+// the largest surviving noncolliding set (renamed to M_0 by Lemma 3.4's
+// ρ). k is the averaging parameter; k <= 0 selects the paper's choice
+// k = lg n.
+func Theorem41(it *delta.Iterated, k int) *Analysis {
+	inc := NewIncremental(it.Slots(), k)
+	for b := 0; b < it.Blocks(); b++ {
+		inc.AddBlock(it.Pre(b), it.Block(b))
+		if inc.Dead() {
+			break
+		}
+	}
+	return inc.Analysis()
+}
+
+// paperBound returns n / lg^{4d} n (Theorem 4.1's guaranteed survival
+// after d full-width blocks with k = lg n).
+func paperBound(n, d int) float64 {
+	return float64(n) / math.Pow(math.Log2(float64(n)), float64(4*d))
+}
+
+// lg returns floor(log2 n) for n >= 1.
+func lg(n int) int {
+	l := 0
+	for 1<<uint(l+1) <= n {
+		l++
+	}
+	return l
+}
+
+// String summarizes the analysis.
+func (an *Analysis) String() string {
+	return fmt.Sprintf("analysis[k=%d blocks=%d |D|=%d]", an.K, len(an.Reports), len(an.D))
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/sortcheck"
+)
+
+// ZeroOneWitness converts the certificate into a failing 0-1 input via
+// the monotone-threshold argument behind the 0-1 principle: comparator
+// networks commute with monotone maps, so if the network leaves values
+// out[i] > out[j] on rails i < j for the input π, then thresholding π
+// at out[i] yields a 0-1 input whose output has a 1 on rail i before a
+// 0 on rail j.
+//
+// At least one of the certificate's two inputs must produce an
+// unsorted output (that is what the certificate proves); the returned
+// witness is verified against circuit before being returned.
+func (c *Certificate) ZeroOneWitness(circuit *network.Network) ([]int, error) {
+	if err := c.Verify(circuit); err != nil {
+		return nil, fmt.Errorf("certificate invalid: %w", err)
+	}
+	for _, pi := range [][]int{c.Pi, c.PiPrime} {
+		out := circuit.Eval(pi)
+		// Find an inversion out[i] > out[j], i < j (adjacent suffices:
+		// unsorted means some adjacent rail pair is inverted).
+		thr := -1
+		for r := 1; r < len(out); r++ {
+			if out[r-1] > out[r] {
+				thr = out[r-1]
+				break
+			}
+		}
+		if thr < 0 {
+			continue // this input happens to sort; try the other
+		}
+		witness := make([]int, len(pi))
+		for w, v := range pi {
+			if v >= thr {
+				witness[w] = 1
+			}
+		}
+		if sortcheck.IsSorted(circuit.Eval(witness)) {
+			return nil, errors.New("core: threshold witness unexpectedly sorted (monotonicity violated?)")
+		}
+		return witness, nil
+	}
+	return nil, errors.New("core: both certificate inputs produced sorted outputs")
+}

@@ -1,0 +1,87 @@
+package delta
+
+import (
+	"fmt"
+
+	"shufflenet/internal/perm"
+)
+
+// Empty returns an l-level reverse delta network with no comparators at
+// all (every node's final level is empty) — a pure pass-through block.
+func Empty(l int) *Network {
+	if l == 0 {
+		return Leaf()
+	}
+	return Combine(Empty(l-1), Empty(l-1), nil)
+}
+
+// ReverseLowBits returns the permutation on n = 2^d slots that reverses
+// the low s bits of the slot index and fixes the higher bits. It is an
+// involution; ReverseLowBits(n, 0) and (n, 1) are the identity.
+func ReverseLowBits(n, s int) perm.Perm {
+	if s < 0 {
+		panic(fmt.Sprintf("delta.ReverseLowBits: negative s = %d", s))
+	}
+	p := make(perm.Perm, n)
+	for i := range p {
+		low := i & (1<<uint(s) - 1)
+		rev := 0
+		for b := 0; b < s; b++ {
+			rev = rev<<1 | (low >> uint(b) & 1)
+		}
+		p[i] = i&^(1<<uint(s)-1) | rev
+	}
+	return p
+}
+
+// BitonicStage builds stage s (1-based) of Batcher's bitonic sorter on
+// 2^d slots as a d-level RDN *in ρ_s-relabeled space*, where ρ_s
+// reverses the low s bits of the slot index: the circuit stage compares
+// dimensions s−1, ..., 0 in descending order, while RDN levels ascend,
+// so the stage equals an ascending-dimension RDN conjugated by ρ_s.
+// Node depths above s have empty final levels; comparator directions
+// follow bit s of the (relabeled) slot index, which ρ_s fixes.
+func BitonicStage(d, s int) *Network {
+	if s < 1 || s > d {
+		panic(fmt.Sprintf("delta.BitonicStage: stage %d out of [1,%d]", s, d))
+	}
+	var build func(level, prefix int) *Network
+	build = func(level, prefix int) *Network {
+		if level == 0 {
+			return Leaf()
+		}
+		sub0 := build(level-1, prefix<<1)
+		sub1 := build(level-1, prefix<<1|1)
+		h := 1 << uint(level-1)
+		var final []Comp
+		if level-1 < s {
+			for j := 0; j < h; j++ {
+				global := prefix<<uint(level) | j
+				asc := global&(1<<uint(s)) == 0
+				final = append(final, Comp{O0: j, O1: j, MinFirst: asc})
+			}
+		}
+		return Combine(sub0, sub1, final)
+	}
+	return build(d, 0)
+}
+
+// BitonicIterated builds Batcher's bitonic sorting network on n = 2^d
+// slots as a (d+1)-block iterated reverse delta network: stage s is
+// BitonicStage(d, s) glued with the bit-reversal permutations that move
+// the data between the ρ-relabeled spaces, and a final comparator-free
+// block restores slot order. Its existence is why the paper's lower
+// bound applies to Batcher's construction; Eval sorts every input
+// (verified by the 0-1 principle in the tests).
+func BitonicIterated(d int) *Iterated {
+	n := 1 << uint(d)
+	it := NewIterated(n)
+	prev := perm.Identity(n)
+	for s := 1; s <= d; s++ {
+		rho := ReverseLowBits(n, s)
+		it.AddBlock(prev.Compose(rho), BitonicStage(d, s))
+		prev = rho
+	}
+	it.AddBlock(prev, Empty(d)) // unscramble ρ_d; ρ is an involution
+	return it
+}

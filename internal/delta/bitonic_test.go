@@ -1,0 +1,130 @@
+package delta
+
+import (
+	"testing"
+
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+func TestEmpty(t *testing.T) {
+	e := Empty(4)
+	if e.Levels() != 4 || e.Size() != 0 {
+		t.Fatalf("Empty(4): levels=%d size=%d", e.Levels(), e.Size())
+	}
+	in := []int{5, 3, 8, 1, 9, 0, 2, 7, 6, 4, 10, 11, 12, 13, 15, 14}
+	out := e.Eval(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("Empty moved data")
+		}
+	}
+}
+
+func TestReverseLowBits(t *testing.T) {
+	p := ReverseLowBits(16, 2)
+	// Index 0b0110 -> low 2 bits "10" reversed to "01" -> 0b0101.
+	if p[0b0110] != 0b0101 {
+		t.Errorf("ReverseLowBits(16,2)[6] = %d", p[0b0110])
+	}
+	if !p.Valid() {
+		t.Error("not a permutation")
+	}
+	// Involution.
+	if !p.Compose(p).IsIdentity() {
+		t.Error("not an involution")
+	}
+	// s = 0 and s = 1 are the identity.
+	if !ReverseLowBits(8, 0).IsIdentity() || !ReverseLowBits(8, 1).IsIdentity() {
+		t.Error("trivial reversals not identity")
+	}
+	// s = d is full bit reversal.
+	if !ReverseLowBits(16, 4).Equal(perm.BitReversal(16)) {
+		t.Error("full-width reversal != bit reversal")
+	}
+}
+
+func TestBitonicStageShape(t *testing.T) {
+	d := 4
+	for s := 1; s <= d; s++ {
+		st := BitonicStage(d, s)
+		if st.Levels() != d {
+			t.Fatalf("stage %d: levels %d", s, st.Levels())
+		}
+		// Stage s has comparators only at node depths <= s:
+		// size = s * 2^{d-1}.
+		if want := s * (1 << uint(d-1)); st.Size() != want {
+			t.Fatalf("stage %d: size %d, want %d", s, st.Size(), want)
+		}
+	}
+}
+
+func TestBitonicStagePanics(t *testing.T) {
+	for _, s := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BitonicStage(4,%d) did not panic", s)
+				}
+			}()
+			BitonicStage(4, s)
+		}()
+	}
+}
+
+func TestBitonicIteratedDepthAndSize(t *testing.T) {
+	d := 4
+	it := BitonicIterated(d)
+	n := 1 << uint(d)
+	// d stage blocks + 1 unscramble block, each d levels deep.
+	if it.Blocks() != d+1 || it.Depth() != (d+1)*d {
+		t.Fatalf("blocks=%d depth=%d", it.Blocks(), it.Depth())
+	}
+	// Comparator count equals Batcher's bitonic: n·d(d+1)/4.
+	if want := n * d * (d + 1) / 4; it.Size() != want {
+		t.Fatalf("size=%d want %d", it.Size(), want)
+	}
+}
+
+func TestBitonicIteratedSortsExhaustively(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4} {
+		it := BitonicIterated(d)
+		ok, w := sortcheck.ZeroOne(1<<uint(d), iterEval{it}, 0)
+		if !ok {
+			t.Fatalf("d=%d: fails on %v", d, w)
+		}
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty forest", func() { NewForest() })
+	mustPanic("mixed levels", func() { NewForest(Butterfly(2), Butterfly(3)) })
+	mustPanic("wrong slot count", func() {
+		NewIterated(8).AddForest(nil, NewForest(Butterfly(2)))
+	})
+}
+
+func TestForestEvalMatchesTrees(t *testing.T) {
+	f := NewForest(Butterfly(2), Butterfly(2))
+	it := NewIterated(8).AddForest(nil, f)
+	in := []int{3, 1, 2, 0, 7, 5, 6, 4}
+	out := it.Eval(in)
+	left := Butterfly(2).Eval(in[:4])
+	right := Butterfly(2).Eval(in[4:])
+	for i := 0; i < 4; i++ {
+		if out[i] != left[i] || out[4+i] != right[i] {
+			t.Fatalf("forest eval mismatch: %v", out)
+		}
+	}
+	if f.Levels() != 2 || f.Slots() != 8 || f.Size() != 8 {
+		t.Fatalf("forest shape wrong")
+	}
+}

@@ -1,0 +1,269 @@
+package delta
+
+import (
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Decompose recovers the recursive reverse delta structure of a
+// circuit, if it has one: it returns an l-level Network d and a rail
+// assignment railOf (slot → circuit rail) such that for every input x
+// over rails,
+//
+//	d.Eval(slotView(x))[s] == c.Eval(x)[railOf[s]],
+//
+// where slotView(x)[s] = x[railOf[s]]. ok is false when the circuit is
+// not a reverse delta network (same criterion as IsReverseDelta).
+//
+// Decompose is what lets the lower-bound adversary attack networks
+// given only as circuits (e.g. loaded from a file): the adversary
+// recurses on the recovered structure.
+func Decompose(c *network.Network) (d *Network, railOf []int, ok bool) {
+	n := c.Wires()
+	if !bits.IsPow2(n) {
+		return nil, nil, false
+	}
+	l := bits.Lg(n)
+	if c.Depth() != l {
+		return nil, nil, false
+	}
+	rails := make([]int, n)
+	for i := range rails {
+		rails[i] = i
+	}
+	return decompose(c, rails, l)
+}
+
+// DecomposeIterated recovers a (k, l)-iterated reverse delta structure
+// from a circuit of depth k·l: it cuts the circuit into k consecutive
+// l-level segments, decomposes each, and chains them with the
+// permutations that reconcile consecutive segments' rail assignments.
+// The returned Iterated's slot space for inputs and outputs is the
+// circuit's rail space:
+//
+//	it.Eval(x)[railAt[s]] — use ToNetwork's placement for exact output
+//	correspondence; inputs are taken rail-indexed directly.
+//
+// ok is false if the depth is not a multiple of l or any segment is not
+// a reverse delta network.
+func DecomposeIterated(c *network.Network, l int) (*Iterated, bool) {
+	n := c.Wires()
+	if !bits.IsPow2(n) || l < 1 || c.Depth()%l != 0 {
+		return nil, false
+	}
+	blocks := c.Depth() / l
+	it := NewIterated(n)
+	prevRailOf := perm.Identity(n) // block 0 receives rail-indexed data
+	for b := 0; b < blocks; b++ {
+		seg := c.Slice(b*l, (b+1)*l)
+		d, railOf, ok := Decompose(seg)
+		if !ok {
+			return nil, false
+		}
+		// pre[s] = slot of this block receiving the value that block
+		// b-1 left at its slot s (which lives on rail prevRailOf[s]).
+		inv := make([]int, n) // rail -> slot of this block
+		for s, r := range railOf {
+			inv[r] = s
+		}
+		pre := make(perm.Perm, n)
+		for s := 0; s < n; s++ {
+			pre[s] = inv[prevRailOf[s]]
+		}
+		it.AddBlock(pre, d)
+		prevRailOf = perm.Perm(railOf).Clone()
+	}
+	return it, true
+}
+
+// decompose mirrors rdnCheck but builds the structure on success.
+func decompose(c *network.Network, rails []int, l int) (*Network, []int, bool) {
+	if l == 0 {
+		if len(rails) != 1 {
+			return nil, nil, false
+		}
+		return Leaf(), []int{rails[0]}, true
+	}
+	if len(rails) != 1<<uint(l) {
+		return nil, nil, false
+	}
+	inSet := make(map[int]bool, len(rails))
+	for _, r := range rails {
+		inSet[r] = true
+	}
+
+	parent := make(map[int]int, len(rails))
+	var find func(x int) int
+	find = func(x int) int {
+		p, okP := parent[x]
+		if !okP || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for li := 0; li < l-1; li++ {
+		for _, cm := range c.Level(li) {
+			a, b := cm.Min, cm.Max
+			if inSet[a] != inSet[b] {
+				return nil, nil, false
+			}
+			if inSet[a] {
+				union(a, b)
+			}
+		}
+	}
+
+	type edge struct{ a, b int }
+	var cross []edge
+	for _, cm := range c.Level(l - 1) {
+		a, b := cm.Min, cm.Max
+		if inSet[a] != inSet[b] {
+			return nil, nil, false
+		}
+		if !inSet[a] {
+			continue
+		}
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return nil, nil, false
+		}
+		cross = append(cross, edge{ra, rb})
+	}
+
+	members := map[int][]int{}
+	for _, r := range rails {
+		members[find(r)] = append(members[find(r)], r)
+	}
+
+	color := map[int]int{}
+	adj := map[int][]int{}
+	for _, e := range cross {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	type group struct{ size0, size1 int }
+	var groups []group
+	var groupRoots [][]int
+	visited := map[int]bool{}
+	for root := range members {
+		if visited[root] {
+			continue
+		}
+		g := group{}
+		var roots []int
+		queue := []int{root}
+		visited[root] = true
+		color[root] = 0
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			roots = append(roots, x)
+			if color[x] == 0 {
+				g.size0 += len(members[x])
+			} else {
+				g.size1 += len(members[x])
+			}
+			for _, y := range adj[x] {
+				if !visited[y] {
+					visited[y] = true
+					color[y] = 1 - color[x]
+					queue = append(queue, y)
+				} else if color[y] == color[x] {
+					return nil, nil, false
+				}
+			}
+		}
+		groups = append(groups, g)
+		groupRoots = append(groupRoots, roots)
+	}
+
+	half := len(rails) / 2
+	flips := make([]bool, len(groups))
+	var result *Network
+	var resultRails []int
+	var try func(i, side0 int) bool
+	try = func(i, side0 int) bool {
+		if side0 > half {
+			return false
+		}
+		rest := 0
+		for j := i; j < len(groups); j++ {
+			m := groups[j].size0
+			if groups[j].size1 > m {
+				m = groups[j].size1
+			}
+			rest += m
+		}
+		if side0+rest < half {
+			return false
+		}
+		if i == len(groups) {
+			if side0 != half {
+				return false
+			}
+			var side [2][]int
+			for gi, roots := range groupRoots {
+				for _, root := range roots {
+					s := color[root]
+					if flips[gi] {
+						s = 1 - s
+					}
+					side[s] = append(side[s], members[root]...)
+				}
+			}
+			sub0, rails0, ok0 := decompose(c, side[0], l-1)
+			if !ok0 {
+				return false
+			}
+			sub1, rails1, ok1 := decompose(c, side[1], l-1)
+			if !ok1 {
+				return false
+			}
+			// Output-slot index of each rail within each sub-network.
+			slotOf := map[int]int{}
+			for s, r := range rails0 {
+				slotOf[r] = s
+			}
+			for s, r := range rails1 {
+				slotOf[r] = s
+			}
+			in1 := map[int]bool{}
+			for _, r := range rails1 {
+				in1[r] = true
+			}
+			var final []Comp
+			for _, cm := range c.Level(l - 1) {
+				if !inSet[cm.Min] {
+					continue
+				}
+				// One endpoint per side (guaranteed above).
+				r0, r1 := cm.Min, cm.Max
+				minFirst := true
+				if in1[r0] {
+					r0, r1 = r1, r0
+					minFirst = false
+				}
+				final = append(final, Comp{O0: slotOf[r0], O1: slotOf[r1], MinFirst: minFirst})
+			}
+			result = Combine(sub0, sub1, final)
+			resultRails = append(append([]int{}, rails0...), rails1...)
+			return true
+		}
+		flips[i] = false
+		if try(i+1, side0+groups[i].size0) {
+			return true
+		}
+		flips[i] = true
+		return try(i+1, side0+groups[i].size1)
+	}
+	if !try(0, 0) {
+		return nil, nil, false
+	}
+	return result, resultRails, true
+}

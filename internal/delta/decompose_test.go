@@ -1,0 +1,134 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+// checkDecompose validates the Decompose contract on a circuit built
+// from a known RDN: behavioral equivalence through the rail assignment.
+func checkDecompose(t *testing.T, orig *Network, rng *rand.Rand) {
+	t.Helper()
+	c := orig.ToNetwork()
+	d, railOf, ok := Decompose(c)
+	if !ok {
+		t.Fatal("Decompose rejected an RDN circuit")
+	}
+	if d.Levels() != orig.Levels() || d.Size() != orig.Size() {
+		t.Fatalf("structure shape wrong: levels %d/%d size %d/%d",
+			d.Levels(), orig.Levels(), d.Size(), orig.Size())
+	}
+	// railOf must be a permutation of the rails.
+	if !perm.Perm(railOf).Valid() {
+		t.Fatalf("railOf is not a permutation: %v", railOf)
+	}
+	n := c.Wires()
+	for trial := 0; trial < 20; trial++ {
+		x := []int(perm.Random(n, rng))
+		slotIn := make([]int, n)
+		for s, r := range railOf {
+			slotIn[s] = x[r]
+		}
+		got := d.Eval(slotIn)
+		want := c.Eval(x)
+		for s := 0; s < n; s++ {
+			if got[s] != want[railOf[s]] {
+				t.Fatalf("behavioural mismatch at slot %d", s)
+			}
+		}
+	}
+}
+
+func TestDecomposeButterfly(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for l := 1; l <= 5; l++ {
+		checkDecompose(t, Butterfly(l), rng)
+	}
+}
+
+func TestDecomposeRandomRDNs(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 25; trial++ {
+		l := 1 + rng.Intn(5)
+		checkDecompose(t, Random(l, 0.2+0.8*rng.Float64(), rng), rng)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	checkDecompose(t, Empty(4), rng)
+}
+
+func TestDecomposeRejectsNonRDN(t *testing.T) {
+	c := Butterfly(3).ToNetwork()
+	// Repeat a level: no longer an RDN.
+	c2 := c.Truncate(2)
+	c2.AddLevel(c.Level(1))
+	if _, _, ok := Decompose(c2); ok {
+		t.Error("Decompose accepted a repeated-level circuit")
+	}
+}
+
+func TestDecomposeIteratedBitonic(t *testing.T) {
+	// Flatten BitonicIterated to a circuit, decompose it back, and
+	// confirm the recovered iterated RDN still sorts — full round trip
+	// through rail space.
+	for _, dd := range []int{2, 3, 4} {
+		n := 1 << uint(dd)
+		circ, place := BitonicIterated(dd).ToNetwork()
+		it, ok := DecomposeIterated(circ, dd)
+		if !ok {
+			t.Fatalf("d=%d: DecomposeIterated failed on bitonic", dd)
+		}
+		if it.Blocks() != dd+1 {
+			t.Fatalf("d=%d: recovered %d blocks", dd, it.Blocks())
+		}
+		// Behavioral check through the recovered structure.
+		c2, place2 := it.ToNetwork()
+		rng := rand.New(rand.NewSource(74))
+		for trial := 0; trial < 20; trial++ {
+			x := []int(perm.Random(n, rng))
+			a := circ.Eval(x)
+			b := c2.Eval(x)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("d=%d: recovered circuit differs", dd)
+				}
+			}
+		}
+		_ = place2
+		// And it sorts: c2 is rail-equivalent to circ, so the original
+		// flatten's placement locates the sorted output.
+		ok01, w := sortcheck.ZeroOne(n, remapEval2{c2, place}, 0)
+		if !ok01 {
+			t.Fatalf("d=%d: recovered bitonic does not sort (%v)", dd, w)
+		}
+	}
+}
+
+type remapEval2 struct {
+	c     interface{ Eval([]int) []int }
+	place perm.Perm
+}
+
+func (e remapEval2) Eval(in []int) []int {
+	out := e.c.Eval(in)
+	fixed := make([]int, len(out))
+	for s, r := range e.place {
+		fixed[s] = out[r]
+	}
+	return fixed
+}
+
+func TestDecomposeIteratedRejects(t *testing.T) {
+	c := Butterfly(3).ToNetwork()
+	if _, ok := DecomposeIterated(c, 2); ok {
+		t.Error("accepted depth not divisible by l")
+	}
+	if _, ok := DecomposeIterated(c, 0); ok {
+		t.Error("accepted l = 0")
+	}
+}

@@ -1,0 +1,397 @@
+// Package delta implements the paper's Definition 3.4: reverse delta
+// networks and (k,l)-iterated reverse delta networks.
+//
+// A reverse delta network (RDN) is represented by its recursive
+// "tournament" structure: an l-level RDN is two parallel (l−1)-level
+// RDNs followed by a final level of comparators, each taking one input
+// from either sub-network. The structure is kept explicit — rather than
+// flattened to a circuit — because the lower-bound adversary
+// (internal/core) recurses on exactly this shape and exploits the
+// disjointness of the two sub-tournaments (Section 2 of the paper).
+//
+// Positions ("slots") within an RDN are numbered 0..2^l−1 with the
+// first sub-network occupying the lower half. Since an RDN contains no
+// permutations between its levels, slots are also the rails of the
+// equivalent circuit (ToNetwork). Arbitrary permutations between
+// consecutive RDNs of an iterated network — which Definition 3.4's
+// serial composition allows — live in Iterated.
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Comp is one comparator of a node's final level: it connects output
+// slot O0 of the first sub-network with output slot O1 of the second.
+// If MinFirst, the smaller value lands on the sub0 side; otherwise on
+// the sub1 side.
+type Comp struct {
+	O0, O1   int
+	MinFirst bool
+}
+
+// Network is an l-level reverse delta network over 2^l slots.
+type Network struct {
+	l     int
+	sub   [2]*Network
+	final []Comp
+}
+
+// Leaf returns the 0-level reverse delta network: a single wire with no
+// comparators.
+func Leaf() *Network { return &Network{} }
+
+// Combine forms an (l+1)-level RDN from two l-level RDNs and a final
+// level. Every slot of either sub-network may appear in at most one
+// final comparator; fewer than 2^l comparators (down to none) are
+// allowed, matching the paper's "at most 2^{l-1} comparators" clause.
+func Combine(sub0, sub1 *Network, final []Comp) *Network {
+	if sub0.l != sub1.l {
+		panic(fmt.Sprintf("delta.Combine: sub-networks have different levels %d, %d", sub0.l, sub1.l))
+	}
+	h := sub0.Inputs()
+	seen0 := make([]bool, h)
+	seen1 := make([]bool, h)
+	for _, c := range final {
+		if c.O0 < 0 || c.O0 >= h || c.O1 < 0 || c.O1 >= h {
+			panic(fmt.Sprintf("delta.Combine: comparator (%d,%d) out of range [0,%d)", c.O0, c.O1, h))
+		}
+		if seen0[c.O0] || seen1[c.O1] {
+			panic(fmt.Sprintf("delta.Combine: slot reused in final level: (%d,%d)", c.O0, c.O1))
+		}
+		seen0[c.O0], seen1[c.O1] = true, true
+	}
+	own := make([]Comp, len(final))
+	copy(own, final)
+	return &Network{l: sub0.l + 1, sub: [2]*Network{sub0, sub1}, final: own}
+}
+
+// Levels returns l, the number of comparator levels.
+func (d *Network) Levels() int { return d.l }
+
+// Inputs returns the number of input slots, 2^l.
+func (d *Network) Inputs() int { return 1 << uint(d.l) }
+
+// Sub returns the i-th sub-network (i in {0,1}); nil for a leaf.
+func (d *Network) Sub(i int) *Network { return d.sub[i] }
+
+// Final returns the final-level comparators. Callers must not modify
+// the result.
+func (d *Network) Final() []Comp { return d.final }
+
+// Size returns the total number of comparators.
+func (d *Network) Size() int {
+	if d.l == 0 {
+		return 0
+	}
+	return d.sub[0].Size() + d.sub[1].Size() + len(d.final)
+}
+
+// Full reports whether every level of the RDN has its maximum number of
+// comparators (2^{l-1} at each of its nodes' final levels).
+func (d *Network) Full() bool {
+	if d.l == 0 {
+		return true
+	}
+	return len(d.final) == d.Inputs()/2 && d.sub[0].Full() && d.sub[1].Full()
+}
+
+// ToNetwork flattens the RDN to an equivalent circuit on 2^l rails
+// (rail = slot), with level i of the circuit containing the final
+// levels of all depth-i nodes.
+func (d *Network) ToNetwork() *network.Network {
+	c := network.New(d.Inputs())
+	for lvl := 1; lvl <= d.l; lvl++ {
+		var lv network.Level
+		d.collectLevel(lvl, 0, &lv)
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+// collectLevel gathers the comparators of the given level (1-based,
+// counted from the leaves: a node with l levels contributes its final
+// comparators to level l) into lv, offsetting slots by base.
+func (d *Network) collectLevel(lvl, base int, lv *network.Level) {
+	if d.l == 0 {
+		return
+	}
+	if lvl == d.l {
+		h := d.Inputs() / 2
+		for _, cmp := range d.final {
+			a, b := base+cmp.O0, base+h+cmp.O1
+			if cmp.MinFirst {
+				*lv = append(*lv, network.Comparator{Min: a, Max: b})
+			} else {
+				*lv = append(*lv, network.Comparator{Min: b, Max: a})
+			}
+		}
+		return
+	}
+	h := d.Inputs() / 2
+	d.sub[0].collectLevel(lvl, base, lv)
+	d.sub[1].collectLevel(lvl, base+h, lv)
+}
+
+// Eval runs the RDN on input (one value per slot).
+func (d *Network) Eval(input []int) []int {
+	if len(input) != d.Inputs() {
+		panic(fmt.Sprintf("delta.Eval: input length %d != %d slots", len(input), d.Inputs()))
+	}
+	out := make([]int, len(input))
+	copy(out, input)
+	d.evalInPlace(out)
+	return out
+}
+
+func (d *Network) evalInPlace(data []int) {
+	if d.l == 0 {
+		return
+	}
+	h := d.Inputs() / 2
+	d.sub[0].evalInPlace(data[:h])
+	d.sub[1].evalInPlace(data[h:])
+	for _, cmp := range d.final {
+		a, b := cmp.O0, h+cmp.O1
+		lo, hi := a, b
+		if !cmp.MinFirst {
+			lo, hi = b, a
+		}
+		if data[lo] > data[hi] {
+			data[lo], data[hi] = data[hi], data[lo]
+		}
+	}
+}
+
+// Butterfly returns the canonical full RDN: the l-level butterfly in
+// which the final level of every node pairs slot j of sub0 with slot j
+// of sub1 (so level i compares slots differing in bit i−1), all
+// comparators ascending (min toward the lower slot).
+func Butterfly(l int) *Network {
+	if l < 0 {
+		panic("delta.Butterfly: negative level count")
+	}
+	if l == 0 {
+		return Leaf()
+	}
+	sub0, sub1 := Butterfly(l-1), Butterfly(l-1)
+	h := 1 << uint(l-1)
+	final := make([]Comp, h)
+	for j := 0; j < h; j++ {
+		final[j] = Comp{O0: j, O1: j, MinFirst: true}
+	}
+	return Combine(sub0, sub1, final)
+}
+
+// Random returns a random l-level RDN: each node's final level is a
+// random partial matching between the two sub-networks' slots in which
+// each potential comparator appears with probability density, with a
+// uniformly random direction. density 1 gives full random RDNs.
+func Random(l int, density float64, rng *rand.Rand) *Network {
+	if l == 0 {
+		return Leaf()
+	}
+	sub0, sub1 := Random(l-1, density, rng), Random(l-1, density, rng)
+	h := 1 << uint(l-1)
+	// Random matching: pair a random permutation of sub0 slots with a
+	// random permutation of sub1 slots.
+	p0, p1 := perm.Random(h, rng), perm.Random(h, rng)
+	var final []Comp
+	for j := 0; j < h; j++ {
+		if rng.Float64() >= density {
+			continue
+		}
+		final = append(final, Comp{O0: p0[j], O1: p1[j], MinFirst: rng.Intn(2) == 0})
+	}
+	return Combine(sub0, sub1, final)
+}
+
+// Forest is a parallel composition of equal-level RDNs covering
+// consecutive slot ranges: trees[0] on slots [0, m), trees[1] on
+// [m, 2m), and so on. A single full-width tree is the (k, lg n) case of
+// the paper; a forest of 2^{lg n − f} trees of f levels each is the
+// "truncated" block of the Section 5 extension (an RDN cut after its
+// first f levels decomposes into exactly such a forest).
+type Forest struct {
+	trees []*Network
+}
+
+// NewForest builds a forest from equal-level trees.
+func NewForest(trees ...*Network) Forest {
+	if len(trees) == 0 {
+		panic("delta.NewForest: no trees")
+	}
+	for _, tr := range trees[1:] {
+		if tr.Levels() != trees[0].Levels() {
+			panic(fmt.Sprintf("delta.NewForest: mixed tree levels %d and %d", trees[0].Levels(), tr.Levels()))
+		}
+	}
+	own := make([]*Network, len(trees))
+	copy(own, trees)
+	return Forest{trees: own}
+}
+
+// Trees returns the trees of the forest.
+func (f Forest) Trees() []*Network { return f.trees }
+
+// Slots returns the total number of slots covered.
+func (f Forest) Slots() int {
+	n := 0
+	for _, tr := range f.trees {
+		n += tr.Inputs()
+	}
+	return n
+}
+
+// Levels returns the common level count of the trees.
+func (f Forest) Levels() int { return f.trees[0].Levels() }
+
+// Size returns the total comparator count.
+func (f Forest) Size() int {
+	s := 0
+	for _, tr := range f.trees {
+		s += tr.Size()
+	}
+	return s
+}
+
+func (f Forest) evalInPlace(data []int) {
+	off := 0
+	for _, tr := range f.trees {
+		tr.evalInPlace(data[off : off+tr.Inputs()])
+		off += tr.Inputs()
+	}
+}
+
+// Iterated is a (k,l)-iterated reverse delta network: k consecutive
+// blocks on n = 2^d slots with an arbitrary fixed permutation in front
+// of each block (the freedom Definition 3.4's serial composition
+// grants). Each block is a Forest — a single full-width RDN in the
+// paper's main setting, or several parallel truncated RDNs in the
+// Section 5 extension. Pre[i] routes data entering block i: the value
+// at slot s moves to slot Pre[i][s].
+type Iterated struct {
+	n      int
+	blocks []Forest
+	pre    []perm.Perm
+}
+
+// NewIterated returns an empty iterated RDN on n = 2^d slots.
+func NewIterated(n int) *Iterated {
+	bits.Lg(n)
+	return &Iterated{n: n}
+}
+
+// AddBlock appends one single-tree block preceded by the permutation
+// pre (nil = identity). The tree must have exactly n inputs.
+func (it *Iterated) AddBlock(pre perm.Perm, b *Network) *Iterated {
+	return it.AddForest(pre, NewForest(b))
+}
+
+// AddForest appends a forest block preceded by the permutation pre
+// (nil = identity). The forest must cover exactly n slots.
+func (it *Iterated) AddForest(pre perm.Perm, f Forest) *Iterated {
+	if f.Slots() != it.n {
+		panic(fmt.Sprintf("delta.AddForest: forest covers %d slots, want %d", f.Slots(), it.n))
+	}
+	if pre != nil {
+		if len(pre) != it.n {
+			panic(fmt.Sprintf("delta.AddForest: permutation on %d slots, want %d", len(pre), it.n))
+		}
+		pre.MustValid()
+		pre = pre.Clone()
+	}
+	it.blocks = append(it.blocks, f)
+	it.pre = append(it.pre, pre)
+	return it
+}
+
+// Slots returns n.
+func (it *Iterated) Slots() int { return it.n }
+
+// Blocks returns the number of blocks k.
+func (it *Iterated) Blocks() int { return len(it.blocks) }
+
+// Block returns block i.
+func (it *Iterated) Block(i int) Forest { return it.blocks[i] }
+
+// Pre returns the permutation in front of block i (nil = identity).
+func (it *Iterated) Pre(i int) perm.Perm { return it.pre[i] }
+
+// Depth returns the total comparator depth.
+func (it *Iterated) Depth() int {
+	d := 0
+	for _, b := range it.blocks {
+		d += b.Levels()
+	}
+	return d
+}
+
+// Size returns the total number of comparators.
+func (it *Iterated) Size() int {
+	s := 0
+	for _, b := range it.blocks {
+		s += b.Size()
+	}
+	return s
+}
+
+// Eval runs the iterated network on input.
+func (it *Iterated) Eval(input []int) []int {
+	if len(input) != it.n {
+		panic(fmt.Sprintf("delta.Iterated.Eval: input length %d != %d slots", len(input), it.n))
+	}
+	cur := make([]int, it.n)
+	copy(cur, input)
+	tmp := make([]int, it.n)
+	for i, b := range it.blocks {
+		if it.pre[i] != nil {
+			it.pre[i].RouteInto(tmp, cur)
+			cur, tmp = tmp, cur
+		}
+		b.evalInPlace(cur)
+	}
+	return cur
+}
+
+// ToNetwork flattens the iterated network into an equivalent circuit
+// together with the final placement: circuit rails are the original
+// input slots, inter-block permutations become wire relabelings, and
+// placement[s] = r means the value at slot s after the last block is on
+// circuit rail r:
+//
+//	it.Eval(x)[s] == circuit.Eval(x)[placement[s]]  for all inputs x.
+func (it *Iterated) ToNetwork() (*network.Network, perm.Perm) {
+	c := network.New(it.n)
+	railAt := perm.Identity(it.n) // railAt[slot] = circuit rail at this slot
+	tmp := make(perm.Perm, it.n)
+	for i, b := range it.blocks {
+		if p := it.pre[i]; p != nil {
+			for s, r := range railAt {
+				tmp[p[s]] = r
+			}
+			copy(railAt, tmp)
+		}
+		for lvl := 1; lvl <= b.Levels(); lvl++ {
+			var lv network.Level
+			off := 0
+			for _, tr := range b.Trees() {
+				var local network.Level
+				tr.collectLevel(lvl, 0, &local)
+				for _, cm := range local {
+					lv = append(lv, network.Comparator{
+						Min: railAt[off+cm.Min], Max: railAt[off+cm.Max],
+					})
+				}
+				off += tr.Inputs()
+			}
+			c.AddLevel(lv)
+		}
+	}
+	return c, railAt
+}

@@ -1,0 +1,278 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+func TestLeaf(t *testing.T) {
+	d := Leaf()
+	if d.Levels() != 0 || d.Inputs() != 1 || d.Size() != 0 || !d.Full() {
+		t.Errorf("leaf malformed")
+	}
+	out := d.Eval([]int{42})
+	if out[0] != 42 {
+		t.Errorf("leaf eval = %v", out)
+	}
+}
+
+func TestButterflyShape(t *testing.T) {
+	for l := 0; l <= 6; l++ {
+		b := Butterfly(l)
+		if b.Levels() != l {
+			t.Errorf("l=%d: levels %d", l, b.Levels())
+		}
+		if b.Inputs() != 1<<uint(l) {
+			t.Errorf("l=%d: inputs %d", l, b.Inputs())
+		}
+		if want := l * (1 << uint(l)) / 2; b.Size() != want {
+			t.Errorf("l=%d: size %d, want %d", l, b.Size(), want)
+		}
+		if !b.Full() {
+			t.Errorf("l=%d: butterfly not full", l)
+		}
+	}
+}
+
+func TestButterflyToNetworkDimensions(t *testing.T) {
+	l := 4
+	c := Butterfly(l).ToNetwork()
+	if c.Depth() != l {
+		t.Fatalf("depth %d", c.Depth())
+	}
+	for li, lv := range c.Levels() {
+		for _, cm := range lv {
+			if cm.Min^cm.Max != 1<<uint(li) {
+				t.Fatalf("level %d comparator (%d,%d) not on dimension %d", li, cm.Min, cm.Max, li)
+			}
+		}
+	}
+}
+
+func TestButterflyEvalMatchesToNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, l := range []int{1, 3, 5} {
+		b := Butterfly(l)
+		c := b.ToNetwork()
+		for trial := 0; trial < 20; trial++ {
+			in := []int(perm.Random(b.Inputs(), rng))
+			a, bb := b.Eval(in), c.Eval(in)
+			for i := range a {
+				if a[i] != bb[i] {
+					t.Fatalf("l=%d: Eval and ToNetwork.Eval disagree", l)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomRDNEvalMatchesToNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		b := Random(4, 0.7, rng)
+		c := b.ToNetwork()
+		in := []int(perm.Random(16, rng))
+		x, y := b.Eval(in), c.Eval(in)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatal("random RDN Eval mismatch")
+			}
+		}
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("level mismatch", func() { Combine(Leaf(), Butterfly(1), nil) })
+	mustPanic("slot out of range", func() { Combine(Leaf(), Leaf(), []Comp{{O0: 1, O1: 0}}) })
+	mustPanic("slot reuse", func() {
+		Combine(Butterfly(1), Butterfly(1), []Comp{{O0: 0, O1: 0}, {O0: 0, O1: 1}})
+	})
+}
+
+func TestCombinePartialFinalLevel(t *testing.T) {
+	d := Combine(Butterfly(1), Butterfly(1), []Comp{{O0: 1, O1: 0, MinFirst: false}})
+	if d.Size() != 3 || d.Full() {
+		t.Errorf("partial RDN: size=%d full=%v", d.Size(), d.Full())
+	}
+	// The single cross comparator meets values 2 (sub0 slot 1) and 3
+	// (sub1 slot 0); MinFirst=false sends the max to the sub0 side.
+	out := d.Eval([]int{1, 2, 3, 4})
+	if out[1] != 3 || out[2] != 2 {
+		t.Errorf("MinFirst=false direction wrong: %v", out)
+	}
+}
+
+func TestButterflyMaxToTop(t *testing.T) {
+	// An ascending full butterfly routes the maximum to the last slot
+	// and the minimum to slot 0.
+	b := Butterfly(3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		in := []int(perm.Random(8, rng))
+		out := b.Eval(in)
+		if out[7] != 7 || out[0] != 0 {
+			t.Fatalf("butterfly extremes: %v -> %v", in, out)
+		}
+	}
+}
+
+func TestIsReverseDeltaAcceptsButterflies(t *testing.T) {
+	for l := 1; l <= 5; l++ {
+		if !IsReverseDelta(Butterfly(l).ToNetwork()) {
+			t.Errorf("l=%d: ascending butterfly rejected", l)
+		}
+	}
+	// The descending butterfly (bitonic merger) is also an RDN, via the
+	// even/odd bipartition.
+	for _, n := range []int{4, 8, 16} {
+		if !IsReverseDelta(netbuild.BitonicMerger(n)) {
+			t.Errorf("n=%d: bitonic merger (descending butterfly) rejected", n)
+		}
+	}
+}
+
+func TestButterflyIsBothDeltaAndReverseDelta(t *testing.T) {
+	// Kruskal & Snir: the butterfly is the unique network that is both.
+	for l := 1; l <= 4; l++ {
+		c := Butterfly(l).ToNetwork()
+		if !IsReverseDelta(c) || !IsDelta(c) {
+			t.Errorf("l=%d: butterfly should be both delta and reverse delta", l)
+		}
+	}
+}
+
+func TestIsReverseDeltaAcceptsRandomRDNs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		b := Random(4, rng.Float64(), rng)
+		if !IsReverseDelta(b.ToNetwork()) {
+			t.Fatalf("random RDN rejected (trial %d)", trial)
+		}
+	}
+}
+
+func TestIsReverseDeltaRejects(t *testing.T) {
+	// Wrong depth.
+	if IsReverseDelta(netbuild.OddEvenTransposition(8)) {
+		t.Error("transposition network accepted")
+	}
+	// Right depth, wrong structure: repeat the same level twice.
+	c := network.New(4)
+	c.AddComparators(0, 1, 2, 3)
+	c.AddComparators(0, 1, 2, 3)
+	if IsReverseDelta(c) {
+		t.Error("repeated-level network accepted")
+	}
+	// Non-power-of-two width: construct without touching wire 5.
+	c2 := network.New(6)
+	c2.AddComparators(0, 1)
+	if IsReverseDelta(c2) {
+		t.Error("non-power-of-two network accepted")
+	}
+	// Bitonic(4) has depth 3 != lg 4.
+	if IsReverseDelta(netbuild.Bitonic(4)) {
+		t.Error("Bitonic(4) accepted")
+	}
+}
+
+func TestIsReverseDeltaPartialLevels(t *testing.T) {
+	// RDNs may have missing comparators anywhere.
+	rng := rand.New(rand.NewSource(11))
+	b := Random(5, 0.3, rng)
+	if !IsReverseDelta(b.ToNetwork()) {
+		t.Error("sparse RDN rejected")
+	}
+	// Entirely empty network of the right depth is an RDN.
+	c := network.New(8)
+	c.AddLevel(nil).AddLevel(nil).AddLevel(nil)
+	if !IsReverseDelta(c) {
+		t.Error("empty-levels RDN rejected")
+	}
+}
+
+func TestReverseLevels(t *testing.T) {
+	c := network.New(4)
+	c.AddComparators(0, 1)
+	c.AddComparators(1, 2)
+	r := ReverseLevels(c)
+	if len(r.Level(0)) != 1 || r.Level(0)[0].Max != 2 {
+		t.Errorf("ReverseLevels wrong: %v", r.Level(0))
+	}
+	if !ReverseLevels(r).Equal(c) {
+		t.Error("double reversal is not identity")
+	}
+}
+
+func TestIteratedEvalAndToNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 16
+	it := NewIterated(n)
+	for b := 0; b < 3; b++ {
+		var pre perm.Perm
+		if b > 0 {
+			pre = perm.Random(n, rng)
+		}
+		it.AddBlock(pre, Random(4, 0.8, rng))
+	}
+	if it.Blocks() != 3 || it.Depth() != 12 || it.Slots() != n {
+		t.Fatalf("iterated shape wrong")
+	}
+	circuit, place := it.ToNetwork()
+	if circuit.Depth() != 12 || circuit.Size() != it.Size() {
+		t.Fatalf("flattened shape wrong")
+	}
+	for trial := 0; trial < 20; trial++ {
+		in := []int(perm.Random(n, rng))
+		a := it.Eval(in)
+		b := circuit.Eval(in)
+		for s := 0; s < n; s++ {
+			if a[s] != b[place[s]] {
+				t.Fatalf("Iterated.Eval and ToNetwork disagree at slot %d", s)
+			}
+		}
+	}
+}
+
+func TestIteratedButterfliesWithIdentityGluePreserveRDNStructure(t *testing.T) {
+	// One block flattens to an RDN circuit.
+	it := NewIterated(8).AddBlock(nil, Butterfly(3))
+	c, _ := it.ToNetwork()
+	if !IsReverseDelta(c) {
+		t.Error("single-block iterated RDN is not an RDN circuit")
+	}
+}
+
+func TestIteratedBitonicEquivalence(t *testing.T) {
+	// Batcher's bitonic network IS an iterated reverse delta network
+	// (this is why the paper's lower bound applies to it): stage s
+	// compares dimensions s-1, ..., 0 in descending order, while RDN
+	// levels compare ascending dimensions — so each stage becomes an
+	// RDN block conjugated by the permutation ρ_s that reverses the low
+	// s bits of the slot index. Build bitonic(2^d) this way for d = 3, 4
+	// and verify it sorts (0-1 principle).
+	for _, d := range []int{3, 4} {
+		n := 1 << uint(d)
+		it := BitonicIterated(d)
+		ok, w := sortcheck.ZeroOne(n, iterEval{it}, 0)
+		if !ok {
+			t.Fatalf("d=%d: iterated-RDN bitonic fails 0-1 check on %v", d, w)
+		}
+	}
+}
+
+type iterEval struct{ it *Iterated }
+
+func (e iterEval) Eval(in []int) []int { return e.it.Eval(in) }

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 7, Quick: true} }
+
+func runAndRender(t *testing.T, r Runner) *Table {
+	t.Helper()
+	tab := r.Run(quickCfg())
+	if tab.ID != r.ID {
+		t.Errorf("table ID %q != runner ID %q", tab.ID, r.ID)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", r.ID)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("%s row %d has %d cells, want %d", r.ID, i, len(row), len(tab.Columns))
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), tab.Title) {
+		t.Error("rendered output missing title")
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(tab.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(tab.Rows)+1)
+	}
+	return tab
+}
+
+func cell(t *testing.T, tab *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("no column %q", col)
+	return ""
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(all))
+	}
+	ids := map[string]bool{}
+	for _, r := range all {
+		if ids[r.ID] {
+			t.Errorf("duplicate ID %s", r.ID)
+		}
+		ids[r.ID] = true
+		if Find(r.ID) == nil || Find(strings.ToLower(r.ID)) == nil {
+			t.Errorf("Find(%s) failed", r.ID)
+		}
+	}
+	if Find("E99") != nil {
+		t.Error("Find accepted a bogus ID")
+	}
+}
+
+func TestE1(t *testing.T) {
+	tab := runAndRender(t, *Find("E1"))
+	for i := range tab.Rows {
+		if cell(t, tab, i, "sorts") != "true" {
+			t.Errorf("row %d: bitonic does not sort", i)
+		}
+		if cell(t, tab, i, "shuffle-based") != "true" {
+			t.Errorf("row %d: not shuffle-based", i)
+		}
+		if cell(t, tab, i, "depth") != cell(t, tab, i, "lg²n") {
+			t.Errorf("row %d: depth != lg²n", i)
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	tab := runAndRender(t, *Find("E2"))
+	for i := range tab.Rows {
+		measured, _ := strconv.ParseFloat(cell(t, tab, i, "measured frac"), 64)
+		bound, _ := strconv.ParseFloat(cell(t, tab, i, "bound frac"), 64)
+		if measured < bound {
+			t.Errorf("row %d: measured %v below bound %v", i, measured, bound)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	tab := runAndRender(t, *Find("E3"))
+	for i := range tab.Rows {
+		measured, _ := strconv.Atoi(cell(t, tab, i, "|D| measured"))
+		bound, _ := strconv.ParseFloat(cell(t, tab, i, "paper bound"), 64)
+		if float64(measured) < bound {
+			t.Errorf("row %d: |D| = %d below paper bound %v", i, measured, bound)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	tab := runAndRender(t, *Find("E4"))
+	for i := range tab.Rows {
+		if got := cell(t, tab, i, "certificate"); got == "yes" {
+			if v := cell(t, tab, i, "verified"); v != "yes" {
+				t.Errorf("row %d: certificate extracted but not verified (%s)", i, v)
+			}
+		} else {
+			t.Errorf("row %d (%s): no certificate from a 2-block network", i, tab.Rows[i][0])
+		}
+	}
+}
+
+func TestE5(t *testing.T) {
+	tab := runAndRender(t, *Find("E5"))
+	// Survived blocks must be positive for small f.
+	for i := range tab.Rows {
+		if cell(t, tab, i, "f") == "1" {
+			b, _ := strconv.Atoi(strings.TrimPrefix(cell(t, tab, i, "blocks survived"), ">="))
+			if b < 2 {
+				t.Errorf("f=1 should survive many blocks, got %d", b)
+			}
+		}
+	}
+}
+
+func TestE6(t *testing.T) {
+	tab := runAndRender(t, *Find("E6"))
+	// Full-depth bitonic row must have sorted frac 1.
+	last := -1
+	for i := range tab.Rows {
+		if tab.Rows[i][0] == "bitonic/trunc" {
+			last = i
+		}
+	}
+	if got := cell(t, tab, last, "sorted frac"); got != "1" {
+		t.Errorf("full-depth bitonic sorted frac = %s", got)
+	}
+}
+
+func TestE7(t *testing.T) {
+	tab := runAndRender(t, *Find("E7"))
+	for i := range tab.Rows {
+		if m := cell(t, tab, i, "bfly=Δ∩revΔ"); m != "yes" && m != "-" {
+			t.Errorf("row %d: butterfly recognizer failed (%s)", i, m)
+		}
+		if m := cell(t, tab, i, "bitonic=itRDN"); m != "yes" && m != "-" {
+			t.Errorf("row %d: iterated-RDN bitonic failed (%s)", i, m)
+		}
+	}
+}
+
+func TestE8(t *testing.T) {
+	tab := runAndRender(t, *Find("E8"))
+	for i := range tab.Rows {
+		maxd, _ := strconv.Atoi(strings.TrimPrefix(cell(t, tab, i, "max d (|D|>=2)"), ">="))
+		bound, _ := strconv.ParseFloat(cell(t, tab, i, "lg n/(4 lglg n)"), 64)
+		if float64(maxd) < bound {
+			t.Errorf("row %d: adversary depth %d below the guaranteed %v", i, maxd, bound)
+		}
+	}
+}
+
+func TestE9(t *testing.T) {
+	tab := runAndRender(t, *Find("E9"))
+	for i := range tab.Rows {
+		if cell(t, tab, i, "routes ok") != "yes" {
+			t.Errorf("row %d: routing failed", i)
+		}
+	}
+}
+
+func TestE10(t *testing.T) {
+	tab := runAndRender(t, *Find("E10"))
+	for i := range tab.Rows {
+		if cell(t, tab, i, "output ok") != "yes" {
+			t.Errorf("row %d: machine output wrong", i)
+		}
+		single, _ := strconv.ParseFloat(cell(t, tab, i, "cycles/input"), 64)
+		pipe, _ := strconv.ParseFloat(cell(t, tab, i, "pipelined(64)/input"), 64)
+		if pipe >= single {
+			t.Errorf("row %d: pipelining did not amortize (%v vs %v)", i, pipe, single)
+		}
+	}
+}
+
+func TestE11(t *testing.T) {
+	tab := runAndRender(t, *Find("E11"))
+	for i := range tab.Rows {
+		name := tab.Rows[i][0]
+		frac, _ := strconv.ParseFloat(cell(t, tab, i, "escape prob"), 64)
+		switch name {
+		case "bitonic/full":
+			if frac != 1 {
+				t.Errorf("full bitonic escape prob = %v", frac)
+			}
+		case "butterfly×2":
+			// Naive shallow networks have dense witnesses: they sort
+			// almost nothing.
+			if frac > 0.5 {
+				t.Errorf("2-block butterfly unexpectedly sorts most 0-1 inputs: %v", frac)
+			}
+			if cell(t, tab, i, "adversary cert") != "verified" {
+				t.Error("butterfly×2 certificate missing")
+			}
+		}
+	}
+}
+
+func TestA1(t *testing.T) {
+	tab := runAndRender(t, *Find("A1"))
+	// Every row must report a valid t(l) = k³ + l·k² and |D| >= 0; the
+	// k = lg n row must keep |D| >= 2 after three blocks (the regime the
+	// paper's Theorem operates in).
+	for i := range tab.Rows {
+		n, _ := strconv.Atoi(cell(t, tab, i, "n"))
+		k, _ := strconv.Atoi(cell(t, tab, i, "k"))
+		tl, _ := strconv.Atoi(cell(t, tab, i, "t(l)"))
+		l := lgOf(n)
+		if tl != k*k*k+l*k*k {
+			t.Errorf("row %d: t(l) = %d, want %d", i, tl, k*k*k+l*k*k)
+		}
+		if k == l {
+			d, _ := strconv.Atoi(cell(t, tab, i, "|D| after 3 blocks"))
+			if d < 2 {
+				t.Errorf("k = lg n kept only |D| = %d after 3 blocks", d)
+			}
+		}
+	}
+}
+
+func lgOf(n int) int {
+	l := 0
+	for 1<<uint(l+1) <= n {
+		l++
+	}
+	return l
+}
+
+func TestA2(t *testing.T) {
+	tab := runAndRender(t, *Find("A2"))
+	for i := range tab.Rows {
+		adv, _ := strconv.Atoi(cell(t, tab, i, "adversary |D|"))
+		opt, _ := strconv.Atoi(cell(t, tab, i, "optimal |D|"))
+		if adv > opt {
+			t.Errorf("row %d: adversary %d beats the brute-force optimum %d?!", i, adv, opt)
+		}
+		if opt < 1 {
+			t.Errorf("row %d: optimal below the trivial singleton", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := E2LemmaSurvival(quickCfg())
+	b := E2LemmaSurvival(quickCfg())
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ across identical runs")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("nondeterministic cell (%d,%d): %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0: "1", 0.5: "0.5", 0.123456: "0.1235", 0: "0", 100: "100",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/core"
+	"shufflenet/internal/delta"
+	"shufflenet/internal/pattern"
+	"shufflenet/internal/perm"
+)
+
+// E2LemmaSurvival measures the constructive Lemma 4.1 on single reverse
+// delta blocks: the fraction of the tracked set that survives across
+// the t(l) noncolliding sets, against the guaranteed 1 − l/k².
+func E2LemmaSurvival(cfg Config) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "Lemma 4.1: survival through one reverse delta block",
+		Claim: "|B| >= |A|(1 − l/k²) across t(l) = k³+lk² noncolliding sets; k = lg n",
+		Columns: []string{
+			"topology", "n", "l=k", "t(l)", "|A|", "|B|", "measured frac", "bound frac", "largest set",
+		},
+	}
+	sizes := []int{16, 64, 256, 1024, 4096, 16384}
+	if cfg.Quick {
+		sizes = []int{16, 64, 256}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		l := bits.Lg(n)
+		for _, topo := range []string{"butterfly", "random"} {
+			var tree *delta.Network
+			if topo == "butterfly" {
+				tree = delta.Butterfly(l)
+			} else {
+				tree = delta.Random(l, 1.0, rng)
+			}
+			p := pattern.Uniform(n, pattern.M(0))
+			res := core.Lemma41(tree, p, l)
+			_, largest := res.LargestSet()
+			t.AddRow(topo, n, l, res.T, res.Initial, res.Survivors,
+				float64(res.Survivors)/float64(res.Initial),
+				1.0-float64(l)/float64(l*l),
+				len(largest),
+			)
+		}
+	}
+	t.Note("measured frac must dominate bound frac (asserted in code); the slack shows the analysis is conservative")
+	return t
+}
+
+// E3IteratedSurvival measures Theorem 4.1: the size |D| of the
+// noncolliding set maintained across d consecutive full-width blocks,
+// against the guaranteed n / lg^{4d} n.
+func E3IteratedSurvival(cfg Config) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "Theorem 4.1: |D| across d iterated reverse delta blocks",
+		Claim: "|D| >= n / lg^{4d} n after d blocks (k = lg n), for every inter-block permutation",
+		Columns: []string{
+			"n", "d", "|D| measured", "paper bound", "survivors", "chosen set",
+		},
+	}
+	sizes := []int{64, 256, 1024, 4096}
+	if cfg.Quick {
+		sizes = []int{64, 256}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		l := bits.Lg(n)
+		it := delta.NewIterated(n)
+		dMax := 6
+		if cfg.Quick {
+			dMax = 4
+		}
+		for d := 1; d <= dMax; d++ {
+			var pre perm.Perm
+			if d > 1 {
+				pre = perm.Random(n, rng)
+			}
+			it.AddBlock(pre, delta.Butterfly(l))
+			an := core.Theorem41(it, 0)
+			rep := an.Reports[len(an.Reports)-1]
+			t.AddRow(n, d, len(an.D), math.Max(paperBoundFor(n, d), 0), rep.Survivors, rep.ChosenSet)
+			if len(an.D) < 2 {
+				break
+			}
+		}
+	}
+	t.Note("the paper bound is asymptotic; at these n it is vacuous (<1) beyond the first blocks while the measured |D| stays far above it")
+	return t
+}
+
+// E4Certificates runs the full Corollary 4.1.1 pipeline: adversary →
+// certificate → independent verification, on shallow shuffle-based
+// networks (truncated bitonic as iterated RDN, iterated butterflies,
+// random RDN stacks). Every certificate is replayed through the
+// flattened circuit.
+func E4Certificates(cfg Config) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "Corollary 4.1.1: constructive non-sortability certificates",
+		Claim: "any iterated RDN with d < lg n/(4 lg lg n) blocks fails to sort; the adversary emits a verified witness pair",
+		Columns: []string{
+			"network", "n", "blocks", "depth", "|D|", "certificate", "verified", "m", "wires",
+		},
+	}
+	sizes := []int{64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{64, 256}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		l := bits.Lg(n)
+
+		// (a) iterated butterflies with random glue, 2 blocks.
+		it := delta.NewIterated(n)
+		it.AddBlock(nil, delta.Butterfly(l))
+		it.AddBlock(perm.Random(n, rng), delta.Butterfly(l))
+		t.Rows = append(t.Rows, certRow("butterfly×2", n, it))
+
+		// (b) truncated bitonic: the first 2 stages of Batcher's sorter
+		// (an iterated RDN by construction).
+		itb := delta.NewIterated(n)
+		prev := perm.Identity(n)
+		for s := 1; s <= 2 && s <= l; s++ {
+			rho := delta.ReverseLowBits(n, s)
+			itb.AddBlock(prev.Compose(rho), delta.BitonicStage(l, s))
+			prev = rho
+		}
+		t.Rows = append(t.Rows, certRow("bitonic/2-stages", n, itb))
+
+		// (c) random full RDN stack.
+		itr := delta.NewIterated(n)
+		for b := 0; b < 2; b++ {
+			itr.AddBlock(perm.Random(n, rng), delta.Random(l, 1.0, rng))
+		}
+		t.Rows = append(t.Rows, certRow("random×2", n, itr))
+	}
+	t.Note("certificate = inputs π, π′ differing in adjacent values m, m+1 on two wires the network never compares; verified = replay through the flattened circuit confirms identical routing and unsorted output")
+	return t
+}
+
+func certRow(name string, n int, it *delta.Iterated) []string {
+	an := core.Theorem41(it, 0)
+	cert, err := an.Certificate()
+	row := &Table{}
+	if err != nil {
+		row.AddRow(name, n, it.Blocks(), it.Depth(), len(an.D), "none", "-", "-", "-")
+		return row.Rows[0]
+	}
+	circ, _ := it.ToNetwork()
+	verified := "FAIL"
+	if err := cert.Verify(circ); err == nil {
+		verified = "yes"
+	}
+	row.AddRow(name, n, it.Blocks(), it.Depth(), len(an.D), "yes", verified,
+		cert.M, pair(cert.W0, cert.W1))
+	return row.Rows[0]
+}
+
+// E5TruncatedBlocks explores the Section 5 generalization: arbitrary
+// permutations every f stages (forest blocks of f-level trees). The
+// technique then gives Ω((lg n / lg f)·f); we measure how many blocks
+// the adversary survives for various f.
+func E5TruncatedBlocks(cfg Config) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "Section 5: blocks of f levels between free permutations",
+		Claim: "with an arbitrary permutation every f stages the technique yields Ω((lg n/lg f)·f) depth",
+		Columns: []string{
+			"n", "f", "blocks survived", "total depth", "|D| at stop", "Ω formula",
+		},
+	}
+	sizes := []int{256, 1024}
+	if cfg.Quick {
+		sizes = []int{256}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		d := bits.Lg(n)
+		fs := dedupeInts([]int{1, 2, 3, 4, d / 2, d})
+		for _, f := range fs {
+			if f < 1 || f > d {
+				continue
+			}
+			maxBlocks := 24 * d
+			if cfg.Quick {
+				maxBlocks = 4 * d
+			}
+			inc := core.NewIncremental(n, 0)
+			blocks, lastD := 0, n
+			for blocks < maxBlocks {
+				trees := make([]*delta.Network, n/(1<<uint(f)))
+				for i := range trees {
+					trees[i] = delta.Random(f, 1.0, rng)
+				}
+				inc.AddBlock(perm.Random(n, rng), delta.NewForest(trees...))
+				if d := len(inc.D()); d < 2 {
+					break
+				} else {
+					lastD = d
+				}
+				blocks++
+			}
+			survived := trimFloat(float64(blocks))
+			if blocks == maxBlocks {
+				survived = ">=" + survived // censored at the cap
+			}
+			formula := float64(f) * math.Log2(float64(n)) / math.Max(1, math.Log2(float64(f)+1))
+			t.AddRow(n, f, survived, blocks*f, lastD, formula)
+		}
+	}
+	t.Note("blocks survived = largest k with |D| >= 2 after k blocks (incremental adversary); total depth = k·f comparator levels; >= marks runs censored at the block cap")
+	t.Note("the Ω formula column is the asymptotic shape (lg n/lg f)·f for comparison of trends, not an absolute prediction")
+	return t
+}
+
+func dedupeInts(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// E8AdversaryDepth measures the empirical constant of Corollary 4.1.1:
+// the deepest iterated-butterfly stack the adversary survives, against
+// lg n/(4 lg lg n) (the proof's constant) and lg n/(2 lg lg n) (the
+// sharper constant the paper notes is achievable).
+func E8AdversaryDepth(cfg Config) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Empirical adversary depth vs. the proof's constant",
+		Claim: "the proof guarantees survival for d < lg n/(4 lg lg n); a sharper analysis gives 1/(2+ε); empirically the adversary lasts longer",
+		Columns: []string{
+			"n", "max d (|D|>=2)", "lg n/(4 lglg n)", "lg n/(2 lglg n)", "|D| at max d",
+		},
+	}
+	sizes := []int{64, 256, 1024, 4096}
+	if cfg.Quick {
+		sizes = []int{64, 256}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		l := bits.Lg(n)
+		cap := 40 * l
+		if cfg.Quick {
+			cap = 8 * l
+		}
+		inc := core.NewIncremental(n, 0)
+		maxD, lastSize := 0, 0
+		for d := 1; d <= cap; d++ {
+			var pre perm.Perm
+			if d > 1 {
+				pre = perm.Random(n, rng)
+			}
+			inc.AddBlock(pre, delta.NewForest(delta.Butterfly(l)))
+			if len(inc.D()) < 2 {
+				break
+			}
+			maxD, lastSize = d, len(inc.D())
+		}
+		shown := trimFloat(float64(maxD))
+		if maxD == cap {
+			shown = ">=" + shown // censored
+		}
+		lgn := math.Log2(float64(n))
+		lglgn := math.Log2(lgn)
+		t.AddRow(n, shown, lgn/(4*lglgn), lgn/(2*lglgn), lastSize)
+	}
+	t.Note("max d counts butterfly blocks with random inter-block permutations (incremental adversary; >= marks the block cap); comparator depth is d·lg n")
+	return t
+}
+
+func paperBoundFor(n, d int) float64 {
+	return float64(n) / math.Pow(math.Log2(float64(n)), float64(4*d))
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/machine"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/shuffle"
+	"shufflenet/internal/sortcheck"
+)
+
+// E10Machine runs the workloads on a simulated shuffle-exchange
+// multiprocessor (internal/machine) under the unit cost model: the
+// Section 1 motivation made quantitative. Sorting pays the lg²n depth
+// the paper's lower bound says is (nearly) unavoidable for this
+// machine's strict-ascend programs, routing pays far less, and
+// wavefront pipelining amortizes the depth across a batch.
+func E10Machine(cfg Config) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Simulated shuffle-exchange machine: cycles, work, messages",
+		Claim: "strict-ascend programs on the shuffle machine: sorting costs Θ(lg²n) cycles/input (unavoidable up to lg lg n by the main theorem), routing Θ(lg n)–Θ(lg²n), and pipelining amortizes depth",
+		Columns: []string{
+			"workload", "n", "steps", "cycles/input", "pipelined(64)/input",
+			"comparisons", "messages", "output ok",
+		},
+	}
+	sizes := []int{64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{64, 256}
+	}
+	const B = 64
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		m := machine.New(n, machine.DefaultCost)
+		d := bits.Lg(n)
+		_ = d
+
+		workloads := []struct {
+			name string
+			run  func() (steps int, single, pipe machine.Stats, ok bool)
+		}{
+			{"sort/stone-bitonic", func() (int, machine.Stats, machine.Stats, bool) {
+				r := shuffle.Bitonic(n)
+				in := []int(perm.Random(n, rng))
+				out, s1 := m.Run(r, in)
+				batch := make([][]int, B)
+				for i := range batch {
+					batch[i] = []int(perm.Random(n, rng))
+				}
+				outs, sp := m.RunPipelined(r, batch)
+				ok := sortcheck.IsSorted(out)
+				for _, o := range outs {
+					ok = ok && sortcheck.IsSorted(o)
+				}
+				return r.Depth(), s1, sp, ok
+			}},
+			{"route/by-sorting", func() (int, machine.Stats, machine.Stats, bool) {
+				target := perm.Random(n, rng)
+				r := shuffle.RoutePermutation(target)
+				in := []int(perm.Random(n, rng))
+				out, s1 := m.Run(r, in)
+				batch := make([][]int, B)
+				for i := range batch {
+					batch[i] = []int(perm.Random(n, rng))
+				}
+				_, sp := m.RunPipelined(r, batch)
+				ok := true
+				for i := range in {
+					if out[target[i]] != in[i] {
+						ok = false
+					}
+				}
+				return r.Depth(), s1, sp, ok
+			}},
+			{"route/shuffle-unshuffle", func() (int, machine.Stats, machine.Stats, bool) {
+				target := perm.Random(n, rng)
+				r := shuffle.RouteShuffleUnshuffle(target)
+				in := []int(perm.Random(n, rng))
+				out, s1 := m.Run(r, in)
+				batch := make([][]int, B)
+				for i := range batch {
+					batch[i] = []int(perm.Random(n, rng))
+				}
+				_, sp := m.RunPipelined(r, batch)
+				ok := true
+				for i := range in {
+					if out[target[i]] != in[i] {
+						ok = false
+					}
+				}
+				return r.Depth(), s1, sp, ok
+			}},
+		}
+		for _, w := range workloads {
+			steps, s1, sp, ok := w.run()
+			t.AddRow(w.name, n, steps, s1.Cycles, sp.CyclesPerInput(),
+				s1.Comparisons, s1.Messages, boolMark(ok))
+		}
+	}
+	t.Note("unit cost model (route 1, compare 1, swap 1, idle 0); pipelined = 64-input wavefront, cycles amortized per input")
+	t.Note("route/shuffle-unshuffle uses the ascend-descend machine (both π and π⁻¹ wired); the others are strict ascend")
+	return t
+}

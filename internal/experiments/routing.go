@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"shufflenet/internal/benes"
+	"shufflenet/internal/bits"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/shuffle"
+)
+
+// E9Routing measures the permutation-routing landscape behind the
+// paper's framing (Sections 1, 6): strict "ascend" machines (shuffle
+// only) versus "ascend-descend" machines (shuffle and unshuffle). All
+// routes here are switch-only networks (no comparators), verified on
+// random permutations.
+func E9Routing(cfg Config) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Permutation routing: ascend (shuffle) vs ascend-descend (shuffle-unshuffle)",
+		Claim: "arbitrary permutations are routable in 3 lg n − 4 shuffle-exchange levels [10,9,14]; with unshuffle allowed, 2 passes suffice (Beneš); our strict-shuffle route-by-sorting pays lg²n (substitution, DESIGN.md)",
+		Columns: []string{
+			"n", "shuffle-only depth", "shuffle+unshuffle depth", "benes cols",
+			"cited 3lg n−4", "routes ok",
+		},
+	}
+	sizes := []int{8, 16, 64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{8, 16, 64}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range sizes {
+		d := bits.Lg(n)
+		trials := 5
+		if cfg.Quick {
+			trials = 2
+		}
+		ok := true
+		var depthShuffle, depthBoth int
+		for trial := 0; trial < trials; trial++ {
+			target := perm.Random(n, rng)
+			in := make([]int, n)
+			for i := range in {
+				in[i] = i
+			}
+
+			rs := shuffle.RoutePermutation(target)
+			depthShuffle = rs.Depth()
+			if !rs.IsShuffleBased() || rs.Size() != 0 {
+				ok = false
+			}
+			ru := shuffle.RouteShuffleUnshuffle(target)
+			depthBoth = ru.Depth()
+			if ru.Size() != 0 {
+				ok = false
+			}
+			for _, r := range []interface{ Eval([]int) []int }{rs, ru} {
+				out := r.Eval(in)
+				for i := range in {
+					if out[target[i]] != in[i] {
+						ok = false
+					}
+				}
+			}
+		}
+		t.AddRow(n, depthShuffle, depthBoth, benes.Columns(n), 3*d-4, boolMark(ok))
+	}
+	t.Note("shuffle-only = routing by replaying a bitonic sort of destination tags (depth lg²n); shuffle+unshuffle = one shuffle pass + one unshuffle pass with Beneš looping settings (depth 2 lg n)")
+	t.Note("the depth gap is the constructive face of the ascend vs. ascend-descend separation the paper's lower bound establishes for sorting")
+	return t
+}

@@ -1,0 +1,155 @@
+// Package experiments defines and runs the reproduction experiments
+// E1–E11 (and the ablations A1–A2) indexed in DESIGN.md. The paper (a pure lower-bound result) has
+// no tables or figures of its own; each experiment here corresponds to
+// a quantitative claim in the theorem statements or in Sections 1, 4,
+// and 5, and prints a table recording claim vs. measurement. See
+// EXPERIMENTS.md for the recorded results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note line.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (columns header + rows).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical tables.
+	Seed int64
+	// Quick shrinks problem sizes for tests and benchmarks.
+	Quick bool
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Brief string
+	Run   func(Config) *Table
+}
+
+// All lists the experiments in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Bitonic Θ(lg²n) shuffle-based upper bound", E1BitonicUpperBound},
+		{"E2", "Lemma 4.1 single-block survival", E2LemmaSurvival},
+		{"E3", "Theorem 4.1 iterated survival", E3IteratedSurvival},
+		{"E4", "Corollary 4.1.1 non-sortability certificates", E4Certificates},
+		{"E5", "Section 5 truncated-block generalization", E5TruncatedBlocks},
+		{"E6", "Section 5 average-case sorting", E6AverageCase},
+		{"E7", "Construction landscape & recognizers", E7Constructions},
+		{"E8", "Empirical adversary depth vs. bound constant", E8AdversaryDepth},
+		{"E9", "Routing: ascend vs ascend-descend machines", E9Routing},
+		{"E10", "Simulated shuffle-exchange machine costs", E10Machine},
+		{"E11", "0-1 witness thinness (representative sets)", E11Witnesses},
+		{"A1", "Ablation: Lemma 4.1 averaging parameter k", A1KSweep},
+		{"A2", "Ablation: adversary vs brute-force optimum", A2Optimality},
+	}
+}
+
+// Find returns the runner with the given ID (case-insensitive), or nil.
+func Find(id string) *Runner {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			rr := r
+			return &rr
+		}
+	}
+	return nil
+}

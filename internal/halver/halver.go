@@ -1,0 +1,162 @@
+// Package halver implements ε-halvers, the building block of
+// AKS-style sorting networks.
+//
+// The paper cites the AKS network [1] as the O(lg n)-depth comparison
+// point but (like everyone) does not construct it; this package is the
+// substitution documented in DESIGN.md: exact, *verified* ε-halvers
+// built from repeated random cross-matchings, plus the recursive
+// halver cascade that nearly-sorts almost all inputs at O(lg n) depth —
+// the phenomenon Section 5 appeals to when bounding what the lower
+// bound cannot show.
+//
+// A comparator network on 2m wires is an ε-halver if, for every
+// 1 <= k <= m, at most ε·k of the k smallest values end in the upper
+// half and at most ε·k of the k largest values end in the lower half.
+// By the 0-1 principle it suffices to check all 0-1 inputs, which
+// Epsilon does exactly.
+package halver
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/par"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+// CrossMatchings returns a network of `passes` levels on n = 2m wires,
+// each level a uniformly random perfect matching between the lower half
+// and the upper half, with every comparator directing its minimum to
+// the lower-half wire. Repeated random matchings are expanders with
+// high probability, so for any ε > 0 a constant number of passes yields
+// an ε-halver w.h.p.; use Epsilon to verify an instance exactly.
+func CrossMatchings(n, passes int, rng *rand.Rand) *network.Network {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("halver.CrossMatchings: n = %d must be even and >= 2", n))
+	}
+	m := n / 2
+	c := network.New(n)
+	for p := 0; p < passes; p++ {
+		match := perm.Random(m, rng)
+		lv := make(network.Level, m)
+		for i := 0; i < m; i++ {
+			lv[i] = network.Comparator{Min: i, Max: m + match[i]}
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+// MaxEpsilonWires bounds Epsilon's exhaustive 0-1 enumeration.
+const MaxEpsilonWires = 24
+
+// Epsilon returns the exact halving quality of the network: the
+// smallest ε such that c is an ε-halver, computed by exhausting all
+// 2^n 0-1 inputs in parallel. A perfect halver has ε = 0; a network
+// that does nothing has ε = 1. n must be at most MaxEpsilonWires.
+func Epsilon(c *network.Network, workers int) float64 {
+	n := c.Wires()
+	if n > MaxEpsilonWires {
+		panic(fmt.Sprintf("halver.Epsilon: n = %d exceeds %d", n, MaxEpsilonWires))
+	}
+	if n%2 != 0 {
+		panic("halver.Epsilon: odd wire count")
+	}
+	m := n / 2
+	total := 1 << uint(n)
+	w := par.Workers(total, workers)
+	worst := make([]float64, w)
+	par.ForEachChunk(total, w, func(lo, hi int) {
+		slot := lo / ((total + w - 1) / w)
+		if slot >= w {
+			slot = w - 1
+		}
+		local := 0.0
+		for mask := lo; mask < hi; mask++ {
+			in := sortcheck.ZeroOneInput(uint64(mask), n)
+			ones := 0
+			for _, v := range in {
+				ones += v
+			}
+			if ones == 0 || ones == n {
+				continue
+			}
+			out := c.Eval(in)
+			// k largest = the `ones` 1-values; misplaced = ones in the
+			// lower half. Meaningful when ones <= m.
+			onesLow := 0
+			for i := 0; i < m; i++ {
+				onesLow += out[i]
+			}
+			if ones <= m {
+				if r := float64(onesLow) / float64(ones); r > local {
+					local = r
+				}
+			}
+			// k smallest = the zeros; misplaced = zeros in the upper
+			// half. Meaningful when zeros <= m.
+			zeros := n - ones
+			if zeros <= m {
+				zerosHigh := 0
+				for i := m; i < n; i++ {
+					zerosHigh += 1 - out[i]
+				}
+				if r := float64(zerosHigh) / float64(zeros); r > local {
+					local = r
+				}
+			}
+		}
+		if local > worst[slot] {
+			worst[slot] = local
+		}
+	})
+	eps := 0.0
+	for _, v := range worst {
+		if v > eps {
+			eps = v
+		}
+	}
+	return eps
+}
+
+// IsEpsilonHalver reports whether c is an ε-halver for the given ε
+// (exact, via Epsilon).
+func IsEpsilonHalver(c *network.Network, eps float64, workers int) bool {
+	return Epsilon(c, workers) <= eps+1e-12
+}
+
+// Cascade returns the recursive halver network on n = 2^d wires: apply
+// `passes` random cross-matchings at the full width, then recurse on
+// the two halves, down to blocks of 2. Depth is passes·lg n — an
+// O(lg n)-depth network that nearly sorts almost all inputs when passes
+// is a sufficiently large constant (the AKS skeleton without the
+// error-correction machinery).
+func Cascade(n, passes int, rng *rand.Rand) *network.Network {
+	bits.Lg(n)
+	c := network.New(n)
+	addCascade(c, 0, n, passes, rng)
+	return c
+}
+
+// addCascade appends the levels for the block [off, off+size); sibling
+// blocks at the same scale are merged into shared levels.
+func addCascade(c *network.Network, off, size, passes int, rng *rand.Rand) {
+	for scale := size; scale >= 2; scale /= 2 {
+		blocks := size / scale
+		for p := 0; p < passes; p++ {
+			lv := network.Level{}
+			for b := 0; b < blocks; b++ {
+				base := off + b*scale
+				m := scale / 2
+				match := perm.Random(m, rng)
+				for i := 0; i < m; i++ {
+					lv = append(lv, network.Comparator{Min: base + i, Max: base + m + match[i]})
+				}
+			}
+			c.AddLevel(lv)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package machine simulates a shuffle-exchange multiprocessor
+// executing register-model comparator networks.
+//
+// The paper motivates its network class by exactly this machine:
+// "the primary motivation for considering hypercubic networks in the
+// context of parallel computation is that they admit elegant and
+// efficient strict ascend algorithms" (Section 1). Here the machine is
+// explicit: n processors each hold one register; a step routes all
+// registers along the step's permutation wires and then applies the
+// paired operations. The simulator charges a configurable cost per
+// routing step and per pair operation, counts comparisons, exchanges,
+// and wire messages, and supports wavefront pipelining of input
+// batches (a new input vector enters the first stage as soon as the
+// previous one clears it).
+package machine
+
+import (
+	"fmt"
+
+	"shufflenet/internal/network"
+)
+
+// CostModel assigns cycle costs to the machine's primitive actions.
+// A step costs Route (if it has a non-identity permutation) plus the
+// maximum op cost among its pairs (the processors act in lockstep).
+type CostModel struct {
+	Route    int // one permutation routing step (all wires in parallel)
+	Compare  int // a "+"/"−" compare-exchange at a pair
+	Exchange int // a "1" fixed swap at a pair
+	Noop     int // a "0" idle pair
+}
+
+// DefaultCost is the unit-cost model: routing and comparator work cost
+// one cycle each, idle pairs are free.
+var DefaultCost = CostModel{Route: 1, Compare: 1, Exchange: 1, Noop: 0}
+
+// Stats aggregates a run's work.
+type Stats struct {
+	Cycles      int64 // total machine cycles (lockstep)
+	Comparisons int64 // compare-exchanges performed
+	Exchanges   int64 // fixed swaps performed
+	Messages    int64 // values moved along permutation wires
+	Inputs      int64 // input vectors processed
+}
+
+// CyclesPerInput returns the amortized cycle cost.
+func (s Stats) CyclesPerInput() float64 {
+	if s.Inputs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Inputs)
+}
+
+// Machine is an n-processor shuffle-exchange style machine (it executes
+// any register network; "shuffle-exchange" is the intended workload).
+type Machine struct {
+	n    int
+	cost CostModel
+}
+
+// New returns a machine with n processors under the given cost model.
+func New(n int, cost CostModel) *Machine {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("machine.New: n = %d must be even and >= 2", n))
+	}
+	return &Machine{n: n, cost: cost}
+}
+
+// Processors returns n.
+func (m *Machine) Processors() int { return m.n }
+
+// stepCost returns the cycle cost of one step and tallies op counts.
+func (m *Machine) stepCost(st network.Step, s *Stats) int64 {
+	c := 0
+	if st.Pi != nil {
+		c += m.cost.Route
+		s.Messages += int64(m.n)
+	}
+	opMax := m.cost.Noop
+	for _, op := range st.Ops {
+		var oc int
+		switch op {
+		case network.OpPlus, network.OpMinus:
+			oc = m.cost.Compare
+			s.Comparisons++
+		case network.OpSwap:
+			oc = m.cost.Exchange
+			s.Exchanges++
+		default:
+			oc = m.cost.Noop
+		}
+		if oc > opMax {
+			opMax = oc
+		}
+	}
+	return int64(c + opMax)
+}
+
+// Run executes the register network on one input vector and returns
+// the output with the run's statistics.
+func (m *Machine) Run(r *network.Register, in []int) ([]int, Stats) {
+	if r.Registers() != m.n {
+		panic(fmt.Sprintf("machine.Run: network has %d registers, machine %d", r.Registers(), m.n))
+	}
+	var s Stats
+	s.Inputs = 1
+	for _, st := range r.Steps() {
+		s.Cycles += m.stepCost(st, &s)
+	}
+	out := r.Eval(in)
+	return out, s
+}
+
+// RunPipelined streams a batch of input vectors through the network as
+// a wavefront pipeline: each step is a pipeline stage, and a new input
+// enters stage 0 each issue interval (the maximum stage cost, since the
+// machine is lockstep). Total cycles = issue·(depth + B − 1); outputs
+// equal running each input alone.
+func (m *Machine) RunPipelined(r *network.Register, batch [][]int) ([][]int, Stats) {
+	if r.Registers() != m.n {
+		panic(fmt.Sprintf("machine.RunPipelined: network has %d registers, machine %d", r.Registers(), m.n))
+	}
+	var s Stats
+	s.Inputs = int64(len(batch))
+	if len(batch) == 0 {
+		return nil, s
+	}
+	// Per-stage cost (tallying one input's work); the pipeline issues at
+	// the slowest stage's rate.
+	var issue int64 = 1
+	for _, st := range r.Steps() {
+		if c := m.stepCost(st, &s); c > issue {
+			issue = c
+		}
+	}
+	// Work counters scale with the number of inputs.
+	s.Comparisons *= int64(len(batch))
+	s.Exchanges *= int64(len(batch))
+	s.Messages *= int64(len(batch))
+	s.Cycles = issue * int64(r.Depth()+len(batch)-1)
+
+	out := make([][]int, len(batch))
+	for i, in := range batch {
+		out[i] = r.Eval(in)
+	}
+	return out, s
+}

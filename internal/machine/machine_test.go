@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/shuffle"
+	"shufflenet/internal/sortcheck"
+)
+
+func TestRunStoneBitonic(t *testing.T) {
+	n := 16
+	d := bits.Lg(n)
+	m := New(n, DefaultCost)
+	r := shuffle.Bitonic(n)
+	in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
+	out, s := m.Run(r, in)
+	if !sortcheck.IsSorted(out) {
+		t.Fatalf("machine output unsorted: %v", out)
+	}
+	// Every step routes (shuffle) and has at least one idle-pair-only or
+	// comparator cost: cycles = steps·(route) + comparator steps·1.
+	if s.Cycles < int64(d*d) || s.Cycles > int64(2*d*d) {
+		t.Fatalf("cycles = %d outside [lg²n, 2lg²n]", s.Cycles)
+	}
+	if s.Comparisons != int64(r.Size()) {
+		t.Fatalf("comparisons = %d, want %d", s.Comparisons, r.Size())
+	}
+	if s.Messages != int64(n*d*d) {
+		t.Fatalf("messages = %d, want n·lg²n = %d", s.Messages, n*d*d)
+	}
+	if s.Inputs != 1 || s.CyclesPerInput() != float64(s.Cycles) {
+		t.Fatal("input accounting wrong")
+	}
+}
+
+func TestRunCostModel(t *testing.T) {
+	n := 8
+	m := New(n, CostModel{Route: 3, Compare: 5, Exchange: 2, Noop: 0})
+	r := shuffle.Bitonic(n)
+	_, s := m.Run(r, []int{7, 6, 5, 4, 3, 2, 1, 0})
+	// 9 steps, all with shuffle (3 each); steps with any comparator add
+	// 5; pure-idle steps add 0. Stone bitonic has 6 comparator steps
+	// and 3 idle steps at n=8 (pass s waits d-s steps: 2+1+0 = 3).
+	want := int64(9*3 + 6*5)
+	if s.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", s.Cycles, want)
+	}
+}
+
+func TestRunPipelinedThroughput(t *testing.T) {
+	n := 16
+	m := New(n, DefaultCost)
+	r := shuffle.Bitonic(n)
+	rng := rand.New(rand.NewSource(2))
+	const B = 64
+	batch := make([][]int, B)
+	for i := range batch {
+		batch[i] = []int(perm.Random(n, rng))
+	}
+	outs, s := m.RunPipelined(r, batch)
+	for i, out := range outs {
+		if !sortcheck.IsSorted(out) {
+			t.Fatalf("pipelined output %d unsorted", i)
+		}
+	}
+	// issue = Route+Compare = 2; cycles = 2(depth + B - 1).
+	want := int64(2 * (r.Depth() + B - 1))
+	if s.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", s.Cycles, want)
+	}
+	// Amortized cost per input must be far below the single-input cost.
+	_, single := m.Run(r, batch[0])
+	if s.CyclesPerInput() >= float64(single.Cycles)/4 {
+		t.Fatalf("pipelining did not amortize: %.1f vs %d", s.CyclesPerInput(), single.Cycles)
+	}
+	if s.Comparisons != int64(B*r.Size()) {
+		t.Fatal("pipelined comparison count wrong")
+	}
+}
+
+func TestRunPipelinedEmpty(t *testing.T) {
+	m := New(4, DefaultCost)
+	r := shuffle.Bitonic(4)
+	out, s := m.RunPipelined(r, nil)
+	if out != nil || s.Cycles != 0 || s.Inputs != 0 {
+		t.Fatal("empty batch should be free")
+	}
+	if s.CyclesPerInput() != 0 {
+		t.Fatal("CyclesPerInput on empty stats")
+	}
+}
+
+func TestMachineGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("odd processors", func() { New(7, DefaultCost) })
+	mustPanic("width mismatch", func() {
+		New(8, DefaultCost).Run(shuffle.Bitonic(4), []int{3, 2, 1, 0})
+	})
+	mustPanic("pipelined width mismatch", func() {
+		New(8, DefaultCost).RunPipelined(shuffle.Bitonic(4), [][]int{{3, 2, 1, 0}})
+	})
+}

@@ -1,0 +1,43 @@
+package netbuild
+
+import (
+	"fmt"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+)
+
+// MergeExchange returns Batcher's merge-exchange sorting network for
+// ANY n >= 2 (Knuth, TAOCP vol. 3, Algorithm 5.2.2M) — the
+// arbitrary-width counterpart of OddEvenMergeSort, with depth
+// t(t+1)/2 for t = ceil(lg n). Each (p, q, r, d) round of the
+// algorithm is one level (its comparators are disjoint by
+// construction).
+func MergeExchange(n int) *network.Network {
+	if n < 2 {
+		panic(fmt.Sprintf("netbuild.MergeExchange: n = %d < 2", n))
+	}
+	t := bits.CeilLg(n)
+	c := network.New(n)
+	for p := 1 << uint(t-1); p > 0; p >>= 1 {
+		q := 1 << uint(t-1)
+		r := 0
+		d := p
+		for {
+			lv := network.Level{}
+			for i := 0; i+d < n; i++ {
+				if i&p == r {
+					lv = append(lv, network.Comparator{Min: i, Max: i + d})
+				}
+			}
+			c.AddLevel(lv)
+			if q == p {
+				break
+			}
+			d = q - p
+			q >>= 1
+			r = p
+		}
+	}
+	return c
+}

@@ -1,0 +1,184 @@
+// Package netbuild constructs the classical comparator networks the
+// paper uses as reference points: Batcher's bitonic and odd-even
+// mergesort networks (the Θ(lg²n) upper bound of Section 1), the
+// odd-even transposition network (the Θ(n) baseline), and assorted
+// building blocks (bitonic mergers, half-cleaners, random levels).
+//
+// All constructions are in the circuit model; see internal/shuffle for
+// the shuffle-based register-model realizations.
+package netbuild
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Bitonic returns Batcher's bitonic sorting network on n = 2^d wires,
+// with depth d(d+1)/2 and size n·d(d+1)/4.
+//
+// Stage k = 2, 4, ..., n sorts runs of length k into alternating
+// directions, so that stage 2k sees bitonic runs; each stage is a
+// bitonic merger of depth lg k.
+func Bitonic(n int) *network.Network {
+	d := bits.Lg(n)
+	c := network.New(n)
+	for s := 1; s <= d; s++ {
+		k := 1 << uint(s) // run length after this stage
+		for t := s - 1; t >= 0; t-- {
+			j := 1 << uint(t) // comparison distance
+			lv := make(network.Level, 0, n/2)
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue // handle each pair once, from its lower end
+				}
+				if i&k == 0 {
+					lv = append(lv, network.Comparator{Min: i, Max: l})
+				} else {
+					lv = append(lv, network.Comparator{Min: l, Max: i})
+				}
+			}
+			c.AddLevel(lv)
+		}
+	}
+	return c
+}
+
+// BitonicMerger returns the depth-lg n network that sorts any bitonic
+// sequence on n = 2^d wires (ascending output). It is the final stage
+// of Bitonic with all comparators ascending.
+func BitonicMerger(n int) *network.Network {
+	d := bits.Lg(n)
+	c := network.New(n)
+	for t := d - 1; t >= 0; t-- {
+		j := 1 << uint(t)
+		lv := make(network.Level, 0, n/2)
+		for i := 0; i < n; i++ {
+			if i&j == 0 {
+				lv = append(lv, network.Comparator{Min: i, Max: i | j})
+			}
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+// HalfCleaner returns the single level comparing wire i with wire
+// i + n/2 for all i < n/2: the first level of a bitonic merger. Applied
+// to a bitonic input it leaves every element of the bottom half no
+// larger than every element of the top half.
+func HalfCleaner(n int) *network.Network {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("netbuild.HalfCleaner: n = %d not a power of two", n))
+	}
+	c := network.New(n)
+	lv := make(network.Level, 0, n/2)
+	for i := 0; i < n/2; i++ {
+		lv = append(lv, network.Comparator{Min: i, Max: i + n/2})
+	}
+	return c.AddLevel(lv)
+}
+
+// OddEvenMergeSort returns Batcher's odd-even mergesort network on
+// n = 2^d wires, with depth d(d+1)/2 and size n(d² − d + 4)/4 − 1
+// (slightly smaller than Bitonic).
+func OddEvenMergeSort(n int) *network.Network {
+	bits.Lg(n) // validate power of two
+	c := network.New(n)
+	for p := 1; p < n; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			lv := network.Level{}
+			for j := k % p; j+k < n; j += 2 * k {
+				for i := 0; i < k && i+j+k < n; i++ {
+					if (i+j)/(2*p) == (i+j+k)/(2*p) {
+						lv = append(lv, network.Comparator{Min: i + j, Max: i + j + k})
+					}
+				}
+			}
+			c.AddLevel(lv)
+		}
+	}
+	return c
+}
+
+// OddEvenTransposition returns the n-round odd-even transposition
+// ("brick wall") sorting network on n wires: depth n, size ~n²/2.
+// Works for any n >= 2, not only powers of two.
+func OddEvenTransposition(n int) *network.Network {
+	if n < 2 {
+		panic(fmt.Sprintf("netbuild.OddEvenTransposition: n = %d < 2", n))
+	}
+	c := network.New(n)
+	for round := 0; round < n; round++ {
+		lv := network.Level{}
+		for i := round % 2; i+1 < n; i += 2 {
+			lv = append(lv, network.Comparator{Min: i, Max: i + 1})
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+// Insertion returns the triangle-shaped insertion sorting network on n
+// wires: depth 2n − 3, size n(n−1)/2. Equivalent to bubble sort as a
+// network (Knuth 5.3.4); included as the textbook small-n baseline.
+func Insertion(n int) *network.Network {
+	if n < 2 {
+		panic(fmt.Sprintf("netbuild.Insertion: n = %d < 2", n))
+	}
+	// Build as levels of non-conflicting comparators: the standard
+	// diagonal schedule.
+	levels := make([]network.Level, 2*n-3)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			// Comparator (j-1, j) fires at time i + (i - j) = 2i - j.
+			tm := 2*i - j - 1
+			levels[tm] = append(levels[tm], network.Comparator{Min: j - 1, Max: j})
+		}
+	}
+	c := network.New(n)
+	for _, lv := range levels {
+		c.AddLevel(dedupe(lv))
+	}
+	return c
+}
+
+// RandomLevels returns a network of the given depth on n wires where
+// each level is a random perfect matching of a random subset of wires
+// with random comparator directions. Used for fuzzing and as
+// adversarial topology input.
+func RandomLevels(n, depth int, rng *rand.Rand) *network.Network {
+	c := network.New(n)
+	for l := 0; l < depth; l++ {
+		p := perm.Random(n, rng)
+		lv := network.Level{}
+		for i := 0; i+1 < n; i += 2 {
+			if rng.Intn(8) == 0 {
+				continue
+			}
+			a, b := p[i], p[i+1]
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			lv = append(lv, network.Comparator{Min: a, Max: b})
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+func dedupe(lv network.Level) network.Level {
+	seen := map[network.Comparator]bool{}
+	out := lv[:0]
+	for _, cm := range lv {
+		if !seen[cm] {
+			seen[cm] = true
+			out = append(out, cm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package netbuild
+
+import (
+	"sort"
+
+	"shufflenet/internal/network"
+)
+
+// PrattIncrements returns the 2^p·3^q increments below n in decreasing
+// order — the increment sequence of Pratt's O(lg²n)-depth Shellsort
+// network. The paper cites Cypher's Ω(lg²n/lg lg n) lower bound for
+// Shellsort-based sorting networks with decreasing increments; Pratt's
+// construction is the classical near-matching upper bound in that
+// class, included here as the Shellsort-class baseline.
+func PrattIncrements(n int) []int {
+	var incs []int
+	for p := 1; p < n; p *= 2 {
+		for q := p; q < n; q *= 3 {
+			incs = append(incs, q)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(incs)))
+	return incs
+}
+
+// Pratt returns Pratt's sorting network on n wires: for every increment
+// h = 2^p·3^q < n in decreasing order, one round of compare-exchanges
+// (i, i+h), scheduled into two levels (even and odd multiples of h) so
+// that no wire is used twice per level. Depth Θ(lg²n), size Θ(n lg²n).
+// Works for any n >= 2.
+//
+// Correctness rests on Pratt's theorem: after processing increments 2h
+// and 3h, a single round at increment h restores h-ordering, so the
+// final round at h = 1 leaves the output sorted. The tests verify this
+// via the 0-1 principle.
+func Pratt(n int) *network.Network {
+	if n < 2 {
+		panic("netbuild.Pratt: n < 2")
+	}
+	c := network.New(n)
+	for _, h := range PrattIncrements(n) {
+		// Chains i, i+h, i+2h conflict on shared wires; split the round
+		// by the parity of i/h.
+		for par := 0; par < 2; par++ {
+			lv := network.Level{}
+			for i := 0; i+h < n; i++ {
+				if (i/h)%2 == par {
+					lv = append(lv, network.Comparator{Min: i, Max: i + h})
+				}
+			}
+			if len(lv) > 0 {
+				c.AddLevel(lv)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,96 @@
+package netbuild
+
+import (
+	"testing"
+
+	"shufflenet/internal/bits"
+)
+
+func TestPrattIncrements(t *testing.T) {
+	incs := PrattIncrements(12)
+	want := []int{9, 8, 6, 4, 3, 2, 1}
+	if len(incs) != len(want) {
+		t.Fatalf("increments %v, want %v", incs, want)
+	}
+	for i := range want {
+		if incs[i] != want[i] {
+			t.Fatalf("increments %v, want %v", incs, want)
+		}
+	}
+}
+
+func TestPrattSorts(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 12, 16} {
+		checkSorts(t, "Pratt", Pratt(n))
+	}
+}
+
+func TestPrattSortsLarge(t *testing.T) {
+	for _, n := range []int{100, 256, 1000} {
+		checkSorts(t, "Pratt", Pratt(n))
+	}
+}
+
+func TestPrattDepthIsPolylog(t *testing.T) {
+	// Depth ~ 2 · #increments ~ lg²n / (lg 2 · lg 3) · ... ; concretely
+	// check depth <= 2 (lg n)² and strictly below the transposition
+	// network for larger n.
+	for _, n := range []int{64, 256, 1024} {
+		d := bits.CeilLg(n)
+		p := Pratt(n)
+		if p.Depth() > 2*d*d {
+			t.Errorf("n=%d: Pratt depth %d > 2 lg²n = %d", n, p.Depth(), 2*d*d)
+		}
+		if p.Depth() >= OddEvenTransposition(n).Depth() {
+			t.Errorf("n=%d: Pratt depth %d not below transposition depth %d",
+				n, p.Depth(), n)
+		}
+	}
+}
+
+func TestPrattPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pratt(1) did not panic")
+		}
+	}()
+	Pratt(1)
+}
+
+func TestMergeExchangeSortsAllWidths(t *testing.T) {
+	// Every width 2..16 exhaustively (0-1 principle); spot sizes beyond.
+	for n := 2; n <= 16; n++ {
+		checkSorts(t, "MergeExchange", MergeExchange(n))
+	}
+	for _, n := range []int{33, 100, 255, 256, 257} {
+		checkSorts(t, "MergeExchange", MergeExchange(n))
+	}
+}
+
+func TestMergeExchangeMatchesBatcherAtPowersOfTwo(t *testing.T) {
+	// Same depth as odd-even mergesort at powers of two.
+	for _, n := range []int{4, 16, 64} {
+		me, oe := MergeExchange(n), OddEvenMergeSort(n)
+		if me.Depth() != oe.Depth() {
+			t.Errorf("n=%d: merge-exchange depth %d, odd-even %d", n, me.Depth(), oe.Depth())
+		}
+	}
+}
+
+func TestMergeExchangeDepthFormula(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 17, 100} {
+		tt := bits.CeilLg(n)
+		if got, want := MergeExchange(n).Depth(), tt*(tt+1)/2; got != want {
+			t.Errorf("n=%d: depth %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMergeExchangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MergeExchange(1) did not panic")
+		}
+	}()
+	MergeExchange(1)
+}

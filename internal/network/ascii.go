@@ -1,0 +1,98 @@
+package network
+
+import (
+	"bufio"
+	"io"
+	"sort"
+)
+
+// WriteASCII renders the network as a Knuth-style wire diagram: one row
+// per wire running left to right, comparators drawn as vertical
+// connectors. Comparators within one level whose wire spans overlap are
+// staggered into separate character columns. The min endpoint is drawn
+// 'o' and the max endpoint 'x' (so a standard ascending comparator has
+// 'o' on the upper wire).
+//
+// Intended for small networks; the width grows with depth.
+func (c *Network) WriteASCII(w io.Writer) error {
+	n := c.n
+	// Build the character grid column by column.
+	var cols [][]rune // cols[k][wireRow]
+	wireCol := func() []rune {
+		col := make([]rune, 2*n-1)
+		for i := range col {
+			if i%2 == 0 {
+				col[i] = '-'
+			} else {
+				col[i] = ' '
+			}
+		}
+		return col
+	}
+	cols = append(cols, wireCol())
+	for _, lv := range c.levels {
+		// Stagger overlapping comparators: greedy interval coloring.
+		sorted := CanonicalLevel(lv)
+		type iv struct {
+			lo, hi  int
+			minAtLo bool
+		}
+		ivs := make([]iv, len(sorted))
+		for i, cm := range sorted {
+			lo, hi := cm.Min, cm.Max
+			minAtLo := true
+			if lo > hi {
+				lo, hi = hi, lo
+				minAtLo = false
+			}
+			ivs[i] = iv{lo, hi, minAtLo}
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+		var sub [][]iv
+		for _, v := range ivs {
+			placed := false
+			for s := range sub {
+				if sub[s][len(sub[s])-1].hi < v.lo {
+					sub[s] = append(sub[s], v)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				sub = append(sub, []iv{v})
+			}
+		}
+		for _, group := range sub {
+			col := wireCol()
+			for _, v := range group {
+				for r := 2*v.lo + 1; r < 2*v.hi; r++ {
+					col[r] = '|'
+				}
+				loMark, hiMark := 'o', 'x'
+				if !v.minAtLo {
+					loMark, hiMark = 'x', 'o'
+				}
+				col[2*v.lo] = loMark
+				col[2*v.hi] = hiMark
+			}
+			cols = append(cols, col)
+			cols = append(cols, wireCol())
+		}
+		// Level separator: a plain wire column (already appended).
+	}
+	bw := bufio.NewWriter(w)
+	for r := 0; r < 2*n-1; r++ {
+		for _, col := range cols {
+			bw.WriteRune(col[r])
+			if col[r] == '-' || col[r] == 'o' || col[r] == 'x' {
+				bw.WriteRune('-')
+			} else if col[r] == '|' {
+				bw.WriteRune(' ')
+			} else {
+				bw.WriteRune(' ')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

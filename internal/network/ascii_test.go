@@ -1,0 +1,63 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteASCIIBasic(t *testing.T) {
+	c := New(3)
+	c.AddComparators(0, 1)
+	c.AddComparators(1, 2)
+	var buf bytes.Buffer
+	if err := c.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 2n-1 rows
+		t.Fatalf("got %d rows:\n%s", len(lines), out)
+	}
+	if strings.Count(out, "o") != 2 || strings.Count(out, "x") != 2 {
+		t.Errorf("expected 2 comparators (o/x pairs):\n%s", out)
+	}
+	// Wire rows must start with a dash.
+	for i := 0; i < 5; i += 2 {
+		if !strings.HasPrefix(lines[i], "-") {
+			t.Errorf("wire row %d does not start with '-':\n%s", i, out)
+		}
+	}
+}
+
+func TestWriteASCIIStaggersOverlaps(t *testing.T) {
+	// Comparators (0,2) and (1,3) overlap in span and must land in
+	// different character columns even though they share a level.
+	c := New(4)
+	c.AddComparators(0, 2, 1, 3)
+	var buf bytes.Buffer
+	if err := c.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Row of wire 0: exactly one 'o'; row of wire 1: one 'o'; their
+	// column positions must differ.
+	c0 := strings.IndexRune(lines[0], 'o')
+	c1 := strings.IndexRune(lines[2], 'o')
+	if c0 < 0 || c1 < 0 || c0 == c1 {
+		t.Errorf("overlapping comparators not staggered:\n%s", buf.String())
+	}
+}
+
+func TestWriteASCIIDescendingComparator(t *testing.T) {
+	c := New(2).AddLevel(Level{{Min: 1, Max: 0}})
+	var buf bytes.Buffer
+	if err := c.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Max on wire 0: the upper wire shows 'x'.
+	if !strings.Contains(lines[0], "x") || !strings.Contains(lines[2], "o") {
+		t.Errorf("descending comparator drawn wrong:\n%s", buf.String())
+	}
+}

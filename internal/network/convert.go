@@ -1,0 +1,100 @@
+package network
+
+import (
+	"shufflenet/internal/perm"
+)
+
+// FromRegister converts a register-model network into an equivalent
+// circuit-model network of the same depth and size, together with the
+// final placement of wires in registers.
+//
+// The conversion tracks, for every register, which circuit wire's value
+// it currently holds: the step permutation Π_i and the "1" (exchange)
+// elements move values between registers without comparing them, so
+// they become pure wire relabelings in the circuit model, exactly as
+// the paper's equivalence claim requires. Comparator ("+"/"−") entries
+// become circuit comparators directed by the current wire labels.
+//
+// The returned placement has placement[r] = w meaning that the value in
+// register r at the end of the register network is the value on circuit
+// wire w at the end of the circuit network:
+//
+//	reg.Eval(x)[r] == circ.Eval(x)[placement[r]]  for all inputs x.
+func FromRegister(r *Register) (*Network, perm.Perm) {
+	n := r.Registers()
+	circ := New(n)
+	wireAt := perm.Identity(n) // wireAt[reg] = circuit wire residing in reg
+	tmp := make(perm.Perm, n)
+	for _, st := range r.Steps() {
+		if st.Pi != nil {
+			for reg, w := range wireAt {
+				tmp[st.Pi[reg]] = w
+			}
+			copy(wireAt, tmp)
+		}
+		var lv Level
+		for k, op := range st.Ops {
+			a, b := wireAt[2*k], wireAt[2*k+1]
+			switch op {
+			case OpPlus:
+				lv = append(lv, Comparator{Min: a, Max: b})
+			case OpMinus:
+				lv = append(lv, Comparator{Min: b, Max: a})
+			case OpSwap:
+				wireAt[2*k], wireAt[2*k+1] = b, a
+			}
+		}
+		circ.AddLevel(lv)
+	}
+	return circ, wireAt
+}
+
+// ToRegister converts a circuit-model network into an equivalent
+// register-model network of the same depth and size, together with the
+// final placement of wires in registers.
+//
+// Each circuit level becomes one step whose permutation routes the two
+// endpoints of every comparator into an adjacent register pair
+// (Min to 2k, Max to 2k+1, op "+"); wires idle at that level are routed
+// to the remaining registers with op "0". The returned placement has
+// placement[r] = w meaning:
+//
+//	reg.Eval(x)[r] == circ.Eval(x)[placement[r]]  for all inputs x.
+func ToRegister(c *Network) (*Register, perm.Perm) {
+	n := c.Wires()
+	reg := NewRegister(n)
+	// wireAt[r] = circuit wire whose value register r currently holds.
+	wireAt := perm.Identity(n)
+	for _, lv := range c.Levels() {
+		// Choose target registers: comparator k occupies (2k, 2k+1).
+		targetReg := make([]int, n)
+		for i := range targetReg {
+			targetReg[i] = -1
+		}
+		ops := make([]Op, n/2)
+		for k, cm := range lv {
+			targetReg[cm.Min] = 2 * k
+			targetReg[cm.Max] = 2*k + 1
+			ops[k] = OpPlus
+		}
+		next := 2 * len(lv)
+		for w := 0; w < n; w++ {
+			if targetReg[w] == -1 {
+				targetReg[w] = next
+				next++
+			}
+		}
+		// Π routes register contents: content of register r (wire
+		// wireAt[r]) must land in register targetReg[wireAt[r]].
+		pi := make(perm.Perm, n)
+		for r := 0; r < n; r++ {
+			pi[r] = targetReg[wireAt[r]]
+		}
+		reg.AddStep(Step{Pi: pi, Ops: ops})
+		// Rebuild wireAt by inverting targetReg (wire -> register).
+		for w := 0; w < n; w++ {
+			wireAt[targetReg[w]] = w
+		}
+	}
+	return reg, wireAt
+}

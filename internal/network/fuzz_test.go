@@ -1,0 +1,73 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText: the parser must never panic, and anything it accepts
+// must be a valid network that survives a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	f.Add("wires 4\nlevel 0:1 2:3\nlevel 1:2\n")
+	f.Add("wires 2\nlevel\n")
+	f.Add("# comment\nwires 8\nlevel 0:7\n")
+	f.Add("wires 1\n")
+	f.Add("wires 4\nlevel 3:0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ReadText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid network: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if !c.Equal(back) {
+			t.Fatal("round trip changed the network")
+		}
+	})
+}
+
+// FuzzReadRegisterText: same contract for the register-model parser.
+func FuzzReadRegisterText(f *testing.F) {
+	f.Add("registers 4\nstep ++ pi shuffle\nstep .\n")
+	f.Add("registers 2\nstep 1\n")
+	f.Add("registers 4\nstep 0- pi 3 2 1 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ReadRegisterText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadRegisterText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.Registers() != r.Registers() || back.Depth() != r.Depth() || back.Size() != r.Size() {
+			t.Fatal("round trip changed the network shape")
+		}
+		// Behavioral agreement on one probe.
+		n := r.Registers()
+		in := make([]int, n)
+		for i := range in {
+			in[i] = i
+		}
+		a, b := r.Eval(in), back.Eval(in)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("round trip changed behaviour")
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the network in a line-oriented text format:
+//
+//	wires <n>
+//	level <a0>:<b0> <a1>:<b1> ...
+//
+// with one "level" line per level (possibly with no pairs for an empty
+// level). Each pair a:b is a comparator placing the smaller value on
+// wire a and the larger on wire b.
+func (c *Network) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "wires %d\n", c.n)
+	for _, lv := range c.levels {
+		bw.WriteString("level")
+		for _, cm := range lv {
+			fmt.Fprintf(bw, " %d:%d", cm.Min, cm.Max)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format written by WriteText and validates the
+// result.
+func ReadText(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var net *Network
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "wires":
+			if net != nil {
+				return nil, fmt.Errorf("line %d: duplicate wires declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want \"wires <n>\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("line %d: bad wire count %q", lineNo, fields[1])
+			}
+			net = New(n)
+		case "level":
+			if net == nil {
+				return nil, fmt.Errorf("line %d: level before wires declaration", lineNo)
+			}
+			lv := make(Level, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				parts := strings.SplitN(f, ":", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("line %d: bad comparator %q", lineNo, f)
+				}
+				a, err1 := strconv.Atoi(parts[0])
+				b, err2 := strconv.Atoi(parts[1])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("line %d: bad comparator %q", lineNo, f)
+				}
+				lv = append(lv, Comparator{Min: a, Max: b})
+			}
+			tmp := New(net.n)
+			tmp.levels = append(tmp.levels, lv)
+			if err := tmp.Validate(); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			net.levels = append(net.levels, lv)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, fmt.Errorf("no wires declaration found")
+	}
+	return net, nil
+}
+
+// WriteDOT emits a Graphviz rendering of the network: wires are
+// horizontal rails, comparators are vertical edges, levels are ranked
+// columns. Intended for inspection of small networks.
+func (c *Network) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [shape=point];\n", name)
+	// node id: w<wire>_<column>, columns 0..depth
+	for wi := 0; wi < c.n; wi++ {
+		fmt.Fprintf(bw, "  in%d [shape=plaintext, label=\"w%d\"];\n", wi, wi)
+		fmt.Fprintf(bw, "  in%d -> w%d_0 [arrowhead=none];\n", wi, wi)
+	}
+	for col := 0; col <= len(c.levels); col++ {
+		fmt.Fprintf(bw, "  { rank=same;")
+		for wi := 0; wi < c.n; wi++ {
+			fmt.Fprintf(bw, " w%d_%d;", wi, col)
+		}
+		fmt.Fprintln(bw, " }")
+	}
+	for wi := 0; wi < c.n; wi++ {
+		for col := 0; col < len(c.levels); col++ {
+			fmt.Fprintf(bw, "  w%d_%d -> w%d_%d [arrowhead=none];\n", wi, col, wi, col+1)
+		}
+	}
+	for li, lv := range c.levels {
+		for _, cm := range lv {
+			fmt.Fprintf(bw, "  w%d_%d -> w%d_%d [constraint=false, color=red];\n",
+				cm.Max, li+1, cm.Min, li+1)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// String returns a compact single-line description, e.g.
+// "network[n=8 depth=6 size=19]".
+func (c *Network) String() string {
+	return fmt.Sprintf("network[n=%d depth=%d size=%d]", c.n, c.Depth(), c.Size())
+}
+
+// String returns a compact single-line description of the register
+// network.
+func (r *Register) String() string {
+	return fmt.Sprintf("register[n=%d depth=%d size=%d shuffleBased=%v]",
+		r.n, r.Depth(), r.Size(), r.IsShuffleBased())
+}
+
+// FormatOps renders an ops vector in the paper's notation, e.g. "++0-1".
+func FormatOps(ops []Op) string {
+	var sb strings.Builder
+	for _, op := range ops {
+		sb.WriteString(op.String())
+	}
+	return sb.String()
+}
+
+// CanonicalLevel returns a copy of the level with comparators sorted by
+// their smaller wire index, for deterministic comparison and printing.
+func CanonicalLevel(lv Level) Level {
+	out := make(Level, len(lv))
+	copy(out, lv)
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i], out[j]
+		mi, mj := li.Min, lj.Min
+		if li.Max < mi {
+			mi = li.Max
+		}
+		if lj.Max < mj {
+			mj = lj.Max
+		}
+		return mi < mj
+	})
+	return out
+}
+
+// Equal reports whether two networks have identical structure (same
+// wires, same levels with comparators in the same order up to
+// canonicalization).
+func (c *Network) Equal(other *Network) bool {
+	if c.n != other.n || len(c.levels) != len(other.levels) {
+		return false
+	}
+	for i := range c.levels {
+		a, b := CanonicalLevel(c.levels[i]), CanonicalLevel(other.levels[i])
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package network
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		c := randomNetwork(2+2*rng.Intn(8), rng.Intn(8), rng)
+		var buf bytes.Buffer
+		if err := c.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("ReadText: %v\n", err)
+		}
+		if !c.Equal(back) {
+			t.Fatal("text round trip changed the network")
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	src := "# a comment\nwires 4\n\nlevel 0:1 2:3\nlevel 1:2\n"
+	c, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Wires() != 4 || c.Depth() != 2 || c.Size() != 3 {
+		t.Errorf("parsed %v", c)
+	}
+}
+
+func TestReadTextEmptyLevel(t *testing.T) {
+	c, err := ReadText(strings.NewReader("wires 2\nlevel\nlevel 0:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 2 || c.Size() != 1 {
+		t.Errorf("parsed %v", c)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	bad := []string{
+		"",                         // no wires
+		"level 0:1\n",              // level before wires
+		"wires x\n",                // bad count
+		"wires 0\n",                // zero wires
+		"wires 2\nwires 2\n",       // duplicate
+		"wires 2\nlevel 0-1\n",     // bad pair syntax
+		"wires 2\nlevel 0:2\n",     // out of range
+		"wires 2\nlevel a:b\n",     // non-numeric
+		"wires 4\nlevel 0:1 1:2\n", // wire reuse
+		"wires 2\nbogus\n",         // unknown directive
+		"wires 2\nlevel 0:0\n",     // self loop
+	}
+	for _, src := range bad {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadText accepted %q", src)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := bubble4().WriteDOT(&buf, "bubble4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "rank=same", "color=red", "w0_0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestCanonicalLevel(t *testing.T) {
+	lv := Level{{Min: 5, Max: 4}, {Min: 0, Max: 1}, {Min: 3, Max: 2}}
+	got := CanonicalLevel(lv)
+	if got[0].Min != 0 || got[1].Min != 3 || got[2].Min != 5 {
+		t.Errorf("CanonicalLevel = %v", got)
+	}
+	// Original untouched.
+	if lv[0].Min != 5 {
+		t.Error("CanonicalLevel mutated input")
+	}
+}
+
+func TestRegisterString(t *testing.T) {
+	r := regSorter4()
+	s := r.String()
+	if !strings.Contains(s, "n=4") || !strings.Contains(s, "shuffleBased=false") {
+		t.Errorf("Register.String() = %q", s)
+	}
+}

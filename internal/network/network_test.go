@@ -1,0 +1,336 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/perm"
+)
+
+// sorted2 is the 2-wire sorter.
+func sorted2() *Network {
+	return New(2).AddComparators(0, 1)
+}
+
+// bubble4 is a 4-wire bubble/odd-even transposition sorting network.
+func bubble4() *Network {
+	c := New(4)
+	c.AddComparators(0, 1, 2, 3)
+	c.AddComparators(1, 2)
+	c.AddComparators(0, 1, 2, 3)
+	c.AddComparators(1, 2)
+	return c
+}
+
+func isSorted(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvalSingleComparator(t *testing.T) {
+	c := sorted2()
+	if got := c.Eval([]int{5, 3}); got[0] != 3 || got[1] != 5 {
+		t.Errorf("Eval([5 3]) = %v", got)
+	}
+	if got := c.Eval([]int{3, 5}); got[0] != 3 || got[1] != 5 {
+		t.Errorf("Eval([3 5]) = %v", got)
+	}
+}
+
+func TestDecreasingComparator(t *testing.T) {
+	c := New(2).AddLevel(Level{{Min: 1, Max: 0}})
+	if got := c.Eval([]int{3, 5}); got[0] != 5 || got[1] != 3 {
+		t.Errorf("decreasing comparator: Eval([3 5]) = %v", got)
+	}
+}
+
+func TestEvalDoesNotMutateInput(t *testing.T) {
+	c := sorted2()
+	in := []int{9, 1}
+	c.Eval(in)
+	if in[0] != 9 || in[1] != 1 {
+		t.Error("Eval mutated its input")
+	}
+}
+
+func TestBubble4SortsAllPermutations(t *testing.T) {
+	c := bubble4()
+	data := []int{0, 1, 2, 3}
+	permute(data, func(p []int) {
+		if out := c.Eval(p); !isSorted(out) {
+			t.Fatalf("bubble4 failed on %v: %v", p, out)
+		}
+	})
+}
+
+func TestDepthSizeAccounting(t *testing.T) {
+	c := bubble4()
+	if c.Depth() != 4 || c.Size() != 6 || c.Wires() != 4 {
+		t.Errorf("depth=%d size=%d wires=%d", c.Depth(), c.Size(), c.Wires())
+	}
+	if c.String() != "network[n=4 depth=4 size=6]" {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestAddLevelValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("out of range", func() { New(2).AddComparators(0, 2) })
+	mustPanic("negative", func() { New(2).AddComparators(-1, 0) })
+	mustPanic("self loop", func() { New(2).AddLevel(Level{{Min: 1, Max: 1}}) })
+	mustPanic("wire reused", func() { New(3).AddComparators(0, 1, 1, 2) })
+	mustPanic("odd pairs", func() { New(3).AddComparators(0, 1, 2) })
+	mustPanic("zero wires", func() { New(0) })
+}
+
+func TestTruncateAndSlice(t *testing.T) {
+	c := bubble4()
+	half := c.Truncate(2)
+	if half.Depth() != 2 || half.Size() != 3 {
+		t.Errorf("Truncate: depth=%d size=%d", half.Depth(), half.Size())
+	}
+	// Truncation must not affect the original.
+	if c.Depth() != 4 {
+		t.Error("Truncate mutated original")
+	}
+	rest := c.Slice(2, 4)
+	if rest.Depth() != 2 {
+		t.Errorf("Slice depth = %d", rest.Depth())
+	}
+	// Composing the two halves re-sorts everything.
+	whole := half.Clone().Append(rest)
+	data := []int{0, 1, 2, 3}
+	permute(data, func(p []int) {
+		if out := whole.Eval(p); !isSorted(out) {
+			t.Fatalf("recomposed network failed on %v", p)
+		}
+	})
+}
+
+func TestParallelComposition(t *testing.T) {
+	a, b := sorted2(), sorted2()
+	c := Parallel(a, b)
+	if c.Wires() != 4 || c.Depth() != 1 || c.Size() != 2 {
+		t.Fatalf("Parallel: %v", c)
+	}
+	out := c.Eval([]int{4, 2, 9, 1})
+	want := []int{2, 4, 1, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Parallel eval = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestParallelUnequalDepth(t *testing.T) {
+	a := sorted2()
+	b := New(2).AddComparators(0, 1).AddComparators(0, 1)
+	c := Parallel(a, b)
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", c.Depth())
+	}
+	if len(c.Level(1)) != 1 {
+		t.Fatalf("level 1 should contain only b's comparator")
+	}
+}
+
+func TestEvalTraceRecordsComparisons(t *testing.T) {
+	c := bubble4()
+	out, trace := c.EvalTrace([]int{3, 1, 2, 0})
+	if !isSorted(out) {
+		t.Fatalf("output %v not sorted", out)
+	}
+	if len(trace) != c.Size() {
+		t.Fatalf("trace has %d entries, want %d", len(trace), c.Size())
+	}
+	// Every adjacent value pair must be compared somewhere (the basic
+	// observation that opens Section 2 of the paper).
+	for m := 0; m < 3; m++ {
+		found := false
+		for _, cp := range trace {
+			if cp.Lo() == m && cp.Hi() == m+1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("adjacent pair {%d,%d} never compared by a sorting network", m, m+1)
+		}
+	}
+}
+
+func TestComparedMatchesTrace(t *testing.T) {
+	c := bubble4()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		in := []int(perm.Random(4, rng))
+		_, trace := c.EvalTrace(in)
+		met := map[[2]int]bool{}
+		for _, cp := range trace {
+			met[[2]int{cp.Lo(), cp.Hi()}] = true
+		}
+		for v := 0; v < 4; v++ {
+			for w := v + 1; w < 4; w++ {
+				if got := c.Compared(in, v, w); got != met[[2]int{v, w}] {
+					t.Fatalf("Compared(%v,%d,%d) = %v, trace says %v", in, v, w, got, met[[2]int{v, w}])
+				}
+			}
+		}
+	}
+}
+
+func TestComparisonLevels(t *testing.T) {
+	c := bubble4()
+	_, trace := c.EvalTrace([]int{3, 2, 1, 0})
+	last := -1
+	for _, cp := range trace {
+		if cp.Level < last {
+			t.Fatal("trace not in level order")
+		}
+		last = cp.Level
+	}
+	if last != 3 {
+		t.Fatalf("final comparison at level %d, want 3", last)
+	}
+}
+
+func TestEvalParallelAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := randomNetwork(64, 30, rng)
+	for trial := 0; trial < 10; trial++ {
+		in := []int(perm.Random(64, rng))
+		seq := c.Eval(in)
+		for _, w := range []int{1, 2, 8} {
+			paropt := c.EvalParallel(in, w)
+			for i := range seq {
+				if seq[i] != paropt[i] {
+					t.Fatalf("EvalParallel(workers=%d) differs at %d", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalInPlace(t *testing.T) {
+	c := bubble4()
+	data := []int{3, 1, 0, 2}
+	c.EvalInPlace(data)
+	if !isSorted(data) {
+		t.Fatalf("EvalInPlace left %v", data)
+	}
+}
+
+func TestValidateAcceptsBuilt(t *testing.T) {
+	if err := bubble4().Validate(); err != nil {
+		t.Errorf("Validate rejected a built network: %v", err)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a, b := bubble4(), bubble4()
+	if !a.Equal(b) {
+		t.Error("identical networks not Equal")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not Equal")
+	}
+	c.AddComparators(0, 1)
+	if a.Equal(c) {
+		t.Error("Equal ignored extra level")
+	}
+	if a.Equal(New(5)) {
+		t.Error("Equal ignored wire count")
+	}
+}
+
+// randomNetwork builds a random valid network: depth levels, each a
+// random matching over a random subset of wires.
+func randomNetwork(n, depth int, rng *rand.Rand) *Network {
+	c := New(n)
+	for l := 0; l < depth; l++ {
+		p := perm.Random(n, rng)
+		lv := Level{}
+		for i := 0; i+1 < n; i += 2 {
+			if rng.Intn(4) == 0 {
+				continue // leave some wires idle
+			}
+			a, b := p[i], p[i+1]
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			lv = append(lv, Comparator{Min: a, Max: b})
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
+
+// permute invokes f on every permutation of data (Heap's algorithm).
+func permute(data []int, f func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			cp := make([]int, len(data))
+			copy(cp, data)
+			f(cp)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				data[i], data[k-1] = data[k-1], data[i]
+			} else {
+				data[0], data[k-1] = data[k-1], data[0]
+			}
+		}
+	}
+	rec(len(data))
+}
+
+// The key lemma behind the 0-1 principle: comparator networks commute
+// with monotone maps — Eval(f(x)) = f(Eval(x)) pointwise for any
+// nondecreasing f. (min/max commute with monotone functions.)
+func TestEvalCommutesWithMonotoneMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	mono := []func(int) int{
+		func(v int) int { return v },
+		func(v int) int { return v * v },
+		func(v int) int { return v / 3 },
+		func(v int) int {
+			if v >= 10 {
+				return 1
+			}
+			return 0
+		},
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + 2*rng.Intn(8)
+		c := randomNetwork(n, 1+rng.Intn(8), rng)
+		x := []int(perm.Random(n, rng))
+		outX := c.Eval(x)
+		for fi, f := range mono {
+			fx := make([]int, n)
+			for i, v := range x {
+				fx[i] = f(v)
+			}
+			outFX := c.Eval(fx)
+			for r := 0; r < n; r++ {
+				if outFX[r] != f(outX[r]) {
+					t.Fatalf("monotone map %d does not commute at rail %d", fi, r)
+				}
+			}
+		}
+	}
+}

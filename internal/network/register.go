@@ -1,0 +1,227 @@
+package network
+
+import (
+	"fmt"
+
+	"shufflenet/internal/perm"
+)
+
+// Op is one entry of the operation vector x⃗_i of the register model:
+// the action applied to a pair of adjacent registers (2k, 2k+1) after
+// the step's permutation has been applied.
+type Op byte
+
+const (
+	// OpNone ("0"): no operation on the register pair.
+	OpNone Op = iota
+	// OpPlus ("+"): compare; smaller value to register 2k, larger to 2k+1.
+	OpPlus
+	// OpMinus ("−"): compare; larger value to register 2k, smaller to 2k+1.
+	OpMinus
+	// OpSwap ("1"): unconditionally exchange the two register contents.
+	OpSwap
+)
+
+// String renders the op in the paper's {0, +, −, 1} notation.
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return "0"
+	case OpPlus:
+		return "+"
+	case OpMinus:
+		return "-"
+	case OpSwap:
+		return "1"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Step is one step (Π_i, x⃗_i) of the register model: permute the n
+// register contents by Pi, then apply Ops[k] to registers (2k, 2k+1).
+type Step struct {
+	Pi  perm.Perm // permutation of register contents; nil means identity
+	Ops []Op      // length n/2; nil means all OpNone
+}
+
+// Register is a comparator network in the register model: n registers
+// operated on by a sequence of steps. n must be even (ops act on pairs).
+type Register struct {
+	n     int
+	steps []Step
+}
+
+// NewRegister returns an empty register-model network on n registers.
+func NewRegister(n int) *Register {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("network.NewRegister: n = %d must be even and >= 2", n))
+	}
+	return &Register{n: n}
+}
+
+// Registers returns the number of registers n.
+func (r *Register) Registers() int { return r.n }
+
+// Depth returns the number of steps d.
+func (r *Register) Depth() int { return len(r.steps) }
+
+// Steps returns the underlying steps; the caller must not modify them.
+func (r *Register) Steps() []Step { return r.steps }
+
+// Size returns the number of comparator elements (OpPlus/OpMinus
+// entries) across all steps.
+func (r *Register) Size() int {
+	s := 0
+	for _, st := range r.steps {
+		for _, op := range st.Ops {
+			if op == OpPlus || op == OpMinus {
+				s++
+			}
+		}
+	}
+	return s
+}
+
+// AddStep appends a step. A nil Pi means the identity permutation; a
+// nil Ops vector means all-OpNone. Pi must be a valid permutation on n
+// elements and Ops must have length n/2.
+func (r *Register) AddStep(st Step) *Register {
+	if st.Pi != nil {
+		if len(st.Pi) != r.n {
+			panic(fmt.Sprintf("network.AddStep: permutation on %d elements, want %d", len(st.Pi), r.n))
+		}
+		st.Pi.MustValid()
+		st.Pi = st.Pi.Clone()
+	}
+	if st.Ops != nil {
+		if len(st.Ops) != r.n/2 {
+			panic(fmt.Sprintf("network.AddStep: ops vector length %d, want %d", len(st.Ops), r.n/2))
+		}
+		own := make([]Op, len(st.Ops))
+		copy(own, st.Ops)
+		st.Ops = own
+	}
+	r.steps = append(r.steps, st)
+	return r
+}
+
+// Append concatenates the steps of other, which must have the same
+// register count.
+func (r *Register) Append(other *Register) *Register {
+	if other.n != r.n {
+		panic(fmt.Sprintf("network.Register.Append: register counts differ (%d vs %d)", r.n, other.n))
+	}
+	for _, st := range other.steps {
+		r.AddStep(st)
+	}
+	return r
+}
+
+// Clone returns a deep copy.
+func (r *Register) Clone() *Register {
+	out := NewRegister(r.n)
+	for _, st := range r.steps {
+		out.AddStep(st)
+	}
+	return out
+}
+
+// Truncate returns a copy consisting of the first depth steps.
+func (r *Register) Truncate(depth int) *Register {
+	if depth < 0 || depth > len(r.steps) {
+		panic(fmt.Sprintf("network.Register.Truncate: depth %d out of range [0,%d]", depth, len(r.steps)))
+	}
+	out := NewRegister(r.n)
+	for _, st := range r.steps[:depth] {
+		out.AddStep(st)
+	}
+	return out
+}
+
+// Eval runs the register network on input (length n), returning a fresh
+// output slice giving the final register contents.
+func (r *Register) Eval(input []int) []int {
+	if len(input) != r.n {
+		panic(fmt.Sprintf("network.Register.Eval: input length %d != %d registers", len(input), r.n))
+	}
+	cur := make([]int, r.n)
+	copy(cur, input)
+	tmp := make([]int, r.n)
+	for _, st := range r.steps {
+		if st.Pi != nil {
+			st.Pi.RouteInto(tmp, cur)
+			cur, tmp = tmp, cur
+		}
+		applyOps(st.Ops, cur)
+	}
+	return cur
+}
+
+// EvalTrace runs the network and records every comparison performed
+// (OpPlus and OpMinus entries; OpSwap and OpNone perform none —
+// Definition 3.6 explicitly excludes them from "collisions").
+func (r *Register) EvalTrace(input []int) ([]int, []Comparison) {
+	if len(input) != r.n {
+		panic(fmt.Sprintf("network.Register.Eval: input length %d != %d registers", len(input), r.n))
+	}
+	cur := make([]int, r.n)
+	copy(cur, input)
+	tmp := make([]int, r.n)
+	var trace []Comparison
+	for si, st := range r.steps {
+		if st.Pi != nil {
+			st.Pi.RouteInto(tmp, cur)
+			cur, tmp = tmp, cur
+		}
+		for k, op := range st.Ops {
+			a, b := cur[2*k], cur[2*k+1]
+			switch op {
+			case OpPlus:
+				trace = append(trace, Comparison{A: a, B: b, Level: si})
+				if a > b {
+					cur[2*k], cur[2*k+1] = b, a
+				}
+			case OpMinus:
+				trace = append(trace, Comparison{A: b, B: a, Level: si})
+				if a < b {
+					cur[2*k], cur[2*k+1] = b, a
+				}
+			case OpSwap:
+				cur[2*k], cur[2*k+1] = b, a
+			}
+		}
+	}
+	return cur, trace
+}
+
+// IsShuffleBased reports whether every step's permutation is the perfect
+// shuffle (Section 1: "a network is based on the shuffle permutation if
+// Π_i = π for all i"). A nil (identity) permutation does not count.
+func (r *Register) IsShuffleBased() bool {
+	shuffle := perm.Shuffle(r.n)
+	for _, st := range r.steps {
+		if st.Pi == nil || !st.Pi.Equal(shuffle) {
+			return false
+		}
+	}
+	return true
+}
+
+func applyOps(ops []Op, data []int) {
+	for k, op := range ops {
+		a, b := data[2*k], data[2*k+1]
+		switch op {
+		case OpPlus:
+			if a > b {
+				data[2*k], data[2*k+1] = b, a
+			}
+		case OpMinus:
+			if a < b {
+				data[2*k], data[2*k+1] = b, a
+			}
+		case OpSwap:
+			data[2*k], data[2*k+1] = b, a
+		}
+	}
+}

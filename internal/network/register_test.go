@@ -1,0 +1,245 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/perm"
+)
+
+// regSorter4 is a 4-register sorting network in the register model:
+// odd-even transposition expressed with explicit permutations.
+func regSorter4() *Register {
+	r := NewRegister(4)
+	// Step: compare (0,1) and (2,3).
+	even := Step{Ops: []Op{OpPlus, OpPlus}}
+	// Step: rotate so that the (1,2) pair becomes adjacent, compare once.
+	rot := perm.Perm{1, 2, 3, 0} // content of register i moves to i+1 mod 4
+	odd := Step{Pi: rot, Ops: []Op{OpNone, OpPlus}}
+	unrot := Step{Pi: rot.Inverse()}
+	r.AddStep(even).AddStep(odd).AddStep(unrot).AddStep(even).AddStep(odd).AddStep(unrot)
+	return r
+}
+
+func TestRegisterSorts(t *testing.T) {
+	r := regSorter4()
+	data := []int{0, 1, 2, 3}
+	permute(data, func(p []int) {
+		if out := r.Eval(p); !isSorted(out) {
+			t.Fatalf("register sorter failed on %v: %v", p, out)
+		}
+	})
+}
+
+func TestRegisterOps(t *testing.T) {
+	r := NewRegister(2)
+	r.AddStep(Step{Ops: []Op{OpMinus}})
+	if out := r.Eval([]int{1, 5}); out[0] != 5 || out[1] != 1 {
+		t.Errorf("OpMinus: %v", out)
+	}
+	r2 := NewRegister(2)
+	r2.AddStep(Step{Ops: []Op{OpSwap}})
+	if out := r2.Eval([]int{1, 5}); out[0] != 5 || out[1] != 1 {
+		t.Errorf("OpSwap: %v", out)
+	}
+	r3 := NewRegister(2)
+	r3.AddStep(Step{Ops: []Op{OpNone}})
+	if out := r3.Eval([]int{5, 1}); out[0] != 5 || out[1] != 1 {
+		t.Errorf("OpNone: %v", out)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if FormatOps([]Op{OpNone, OpPlus, OpMinus, OpSwap}) != "0+-1" {
+		t.Errorf("FormatOps = %q", FormatOps([]Op{OpNone, OpPlus, OpMinus, OpSwap}))
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op should still render")
+	}
+}
+
+func TestRegisterSizeCountsComparatorsOnly(t *testing.T) {
+	r := NewRegister(4)
+	r.AddStep(Step{Ops: []Op{OpPlus, OpSwap}})
+	r.AddStep(Step{Ops: []Op{OpMinus, OpNone}})
+	if r.Size() != 2 {
+		t.Errorf("Size = %d, want 2 (swap/none are not comparators)", r.Size())
+	}
+	if r.Depth() != 2 || r.Registers() != 4 {
+		t.Error("depth/registers wrong")
+	}
+}
+
+func TestRegisterEvalTraceExcludesSwaps(t *testing.T) {
+	r := NewRegister(4)
+	r.AddStep(Step{Ops: []Op{OpSwap, OpPlus}})
+	out, trace := r.EvalTrace([]int{9, 8, 7, 6})
+	if len(trace) != 1 {
+		t.Fatalf("trace length %d, want 1 (Definition 3.6: swaps are not comparisons)", len(trace))
+	}
+	if trace[0].Lo() != 6 || trace[0].Hi() != 7 {
+		t.Errorf("traced values %v", trace[0])
+	}
+	if out[0] != 8 || out[1] != 9 {
+		t.Errorf("swap not applied: %v", out)
+	}
+}
+
+func TestRegisterEvalTraceMinusDirection(t *testing.T) {
+	r := NewRegister(2)
+	r.AddStep(Step{Ops: []Op{OpMinus}})
+	out, trace := r.EvalTrace([]int{3, 7})
+	if out[0] != 7 || out[1] != 3 || len(trace) != 1 {
+		t.Fatalf("OpMinus trace: out=%v trace=%v", out, trace)
+	}
+}
+
+func TestIsShuffleBased(t *testing.T) {
+	n := 8
+	r := NewRegister(n)
+	sh := perm.Shuffle(n)
+	for i := 0; i < 3; i++ {
+		r.AddStep(Step{Pi: sh, Ops: make([]Op, n/2)})
+	}
+	if !r.IsShuffleBased() {
+		t.Error("shuffle-based network not recognized")
+	}
+	r.AddStep(Step{Ops: make([]Op, n/2)}) // identity step
+	if r.IsShuffleBased() {
+		t.Error("identity step should disqualify shuffle-based")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("odd registers", func() { NewRegister(3) })
+	mustPanic("short ops", func() { NewRegister(4).AddStep(Step{Ops: []Op{OpPlus}}) })
+	mustPanic("wrong perm size", func() { NewRegister(4).AddStep(Step{Pi: perm.Identity(3)}) })
+	mustPanic("invalid perm", func() { NewRegister(4).AddStep(Step{Pi: perm.Perm{0, 0, 1, 2}}) })
+	mustPanic("bad input size", func() { NewRegister(4).Eval([]int{1, 2}) })
+}
+
+func TestRegisterCloneTruncateAppend(t *testing.T) {
+	r := regSorter4()
+	cl := r.Clone()
+	if cl.Depth() != r.Depth() || cl.Size() != r.Size() {
+		t.Error("clone mismatch")
+	}
+	tr := r.Truncate(2)
+	if tr.Depth() != 2 {
+		t.Error("truncate depth")
+	}
+	if r.Depth() != 6 {
+		t.Error("truncate mutated original")
+	}
+	joined := tr.Clone().Append(r.Truncate(6).Clone())
+	if joined.Depth() != 8 {
+		t.Error("append depth")
+	}
+}
+
+func TestRegisterStepDefensiveCopies(t *testing.T) {
+	n := 4
+	pi := perm.Identity(n)
+	ops := make([]Op, n/2)
+	r := NewRegister(n)
+	r.AddStep(Step{Pi: pi, Ops: ops})
+	pi[0], pi[1] = 1, 0
+	ops[0] = OpSwap
+	out := r.Eval([]int{1, 2, 3, 4})
+	for i, v := range []int{1, 2, 3, 4} {
+		if out[i] != v {
+			t.Fatal("AddStep did not defensively copy its arguments")
+		}
+	}
+}
+
+// Conversion equivalence: register -> circuit.
+func TestFromRegisterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 * (1 + rng.Intn(8)) // even n in [2,16]
+		r := randomRegister(n, 1+rng.Intn(10), rng)
+		circ, place := FromRegister(r)
+		if circ.Depth() != r.Depth() || circ.Size() != r.Size() {
+			t.Fatalf("conversion changed depth/size: %v vs %v", circ, r)
+		}
+		for rep := 0; rep < 10; rep++ {
+			in := []int(perm.Random(n, rng))
+			ro := r.Eval(in)
+			co := circ.Eval(in)
+			for reg := 0; reg < n; reg++ {
+				if ro[reg] != co[place[reg]] {
+					t.Fatalf("n=%d: outputs disagree at register %d", n, reg)
+				}
+			}
+		}
+	}
+}
+
+// Conversion equivalence: circuit -> register.
+func TestToRegisterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		c := randomNetwork(n, 1+rng.Intn(10), rng)
+		reg, place := ToRegister(c)
+		if reg.Depth() != c.Depth() || reg.Size() != c.Size() {
+			t.Fatalf("conversion changed depth/size")
+		}
+		for rep := 0; rep < 10; rep++ {
+			in := []int(perm.Random(n, rng))
+			co := c.Eval(in)
+			ro := reg.Eval(in)
+			for r := 0; r < n; r++ {
+				if ro[r] != co[place[r]] {
+					t.Fatalf("n=%d: outputs disagree at register %d", n, r)
+				}
+			}
+		}
+	}
+}
+
+// Round trip: circuit -> register -> circuit preserves behaviour.
+func TestConversionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomNetwork(8, 6, rng)
+	reg, p1 := ToRegister(c)
+	c2, p2 := FromRegister(reg)
+	for rep := 0; rep < 20; rep++ {
+		in := []int(perm.Random(8, rng))
+		a := c.Eval(in)
+		b := c2.Eval(in)
+		// c.Eval(x)[p1[r]] == reg.Eval(x)[r] == c2.Eval(x)[p2[r]].
+		for r := 0; r < 8; r++ {
+			if a[p1[r]] != b[p2[r]] {
+				t.Fatal("round-trip equivalence violated")
+			}
+		}
+	}
+}
+
+// randomRegister builds a random register network with arbitrary
+// permutations and op vectors.
+func randomRegister(n, depth int, rng *rand.Rand) *Register {
+	r := NewRegister(n)
+	for i := 0; i < depth; i++ {
+		ops := make([]Op, n/2)
+		for k := range ops {
+			ops[k] = Op(rng.Intn(4))
+		}
+		st := Step{Ops: ops}
+		if rng.Intn(4) > 0 {
+			st.Pi = perm.Random(n, rng)
+		}
+		r.AddStep(st)
+	}
+	return r
+}

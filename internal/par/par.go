@@ -1,0 +1,196 @@
+// Package par provides the small parallel-execution runtime used by the
+// evaluators and checkers in shufflenet: chunked parallel loops over
+// index ranges, parallel map, and an early-exit parallel search.
+//
+// All functions degrade gracefully to sequential execution for small
+// inputs, so callers can use them unconditionally. Worker counts default
+// to GOMAXPROCS and are capped by the work available.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallel is the smallest range worth splitting across goroutines;
+// below this the scheduling overhead dominates.
+const minParallel = 2048
+
+// Workers returns the effective worker count for a range of size n given
+// a requested count (0 means GOMAXPROCS). The result is at least 1 and
+// at most n.
+func Workers(n, requested int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes body(i) for every i in [0, n), splitting the range into
+// contiguous chunks across up to workers goroutines (0 = GOMAXPROCS).
+// body must be safe for concurrent invocation on distinct indices.
+func ForEach(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n, workers)
+	if w == 1 || n < minParallel {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEachChunk invokes body(lo, hi) for a partition of [0, n) into
+// contiguous half-open chunks, one per worker goroutine. Use this
+// instead of ForEach when the body benefits from per-chunk state
+// (e.g. scratch buffers).
+func ForEachChunk(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n, workers)
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Find searches [0, n) in parallel for an index satisfying pred and
+// returns the smallest satisfying index found, or -1 if none satisfies
+// pred. Workers abandon chunks that can no longer contain a smaller hit,
+// so Find is effective for needle-in-haystack searches such as locating
+// the first unsorted 0-1 input of a network.
+func Find(n, workers int, pred func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	w := Workers(n, workers)
+	if w == 1 || n < minParallel {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	best := int64(n)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if int64(i) >= atomic.LoadInt64(&best) {
+					return // a smaller index already found
+				}
+				if pred(i) {
+					for {
+						cur := atomic.LoadInt64(&best)
+						if int64(i) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if best == int64(n) {
+		return -1
+	}
+	return int(best)
+}
+
+// SumInt64 computes sum over i in [0, n) of f(i) in parallel.
+func SumInt64(n, workers int, f func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(n, workers)
+	if w == 1 || n < minParallel {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]int64, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	slot := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partial[slot] = s
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Map applies f to every index of dst in parallel, storing the results.
+func Map[T any](dst []T, workers int, f func(i int) T) {
+	ForEach(len(dst), workers, func(i int) {
+		dst[i] = f(i)
+	})
+}

@@ -1,0 +1,114 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(10, 4) != 4 {
+		t.Error("requested workers not honored")
+	}
+	if Workers(2, 100) != 2 {
+		t.Error("workers not capped by n")
+	}
+	if Workers(100, 0) < 1 {
+		t.Error("default workers < 1")
+	}
+	if Workers(0, 0) != 1 {
+		t.Error("empty range should still report 1 worker")
+	}
+}
+
+func TestForEachCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, minParallel - 1, minParallel, 3*minParallel + 5} {
+		counts := make([]int32, n)
+		ForEach(n, 0, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerCounts(t *testing.T) {
+	const n = 3 * minParallel
+	for _, w := range []int{1, 2, 3, 16, 1000} {
+		var sum int64
+		ForEach(n, w, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		want := int64(n) * int64(n-1) / 2
+		if sum != want {
+			t.Fatalf("workers=%d: sum=%d want %d", w, sum, want)
+		}
+	}
+}
+
+func TestForEachChunkPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 1000} {
+		for _, w := range []int{1, 3, 7} {
+			covered := make([]int32, n)
+			ForEachChunk(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFindSmallestHit(t *testing.T) {
+	const n = 4 * minParallel
+	targets := []int{0, 1, minParallel + 3, n - 1}
+	for _, target := range targets {
+		got := Find(n, 8, func(i int) bool { return i >= target })
+		if got != target {
+			t.Errorf("Find returned %d, want %d", got, target)
+		}
+	}
+}
+
+func TestFindNoHit(t *testing.T) {
+	if got := Find(4*minParallel, 8, func(i int) bool { return false }); got != -1 {
+		t.Errorf("Find returned %d on no-hit input", got)
+	}
+	if got := Find(0, 8, func(i int) bool { return true }); got != -1 {
+		t.Errorf("Find on empty range returned %d", got)
+	}
+}
+
+func TestFindSequentialSmall(t *testing.T) {
+	if got := Find(10, 1, func(i int) bool { return i == 7 }); got != 7 {
+		t.Errorf("sequential Find = %d", got)
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 3 * minParallel} {
+		for _, w := range []int{1, 4} {
+			got := SumInt64(n, w, func(i int) int64 { return int64(i) })
+			want := int64(n) * int64(n-1) / 2
+			if got != want {
+				t.Fatalf("SumInt64(n=%d,w=%d) = %d, want %d", n, w, got, want)
+			}
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	dst := make([]int, 5000)
+	Map(dst, 4, func(i int) int { return i * 2 })
+	for i, v := range dst {
+		if v != i*2 {
+			t.Fatalf("Map wrong at %d: %d", i, v)
+		}
+	}
+}

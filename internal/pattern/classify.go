@@ -1,0 +1,165 @@
+package pattern
+
+import (
+	"fmt"
+
+	"shufflenet/internal/network"
+)
+
+// CollisionClass is the trichotomy of Definition 3.7 for a pair of
+// wires under a pattern.
+type CollisionClass int
+
+const (
+	// CollideNever: the wires cannot collide — no refinement compares
+	// their values (Definition 3.7c).
+	CollideNever CollisionClass = iota
+	// CollideSometimes: the wires can collide but do not always
+	// (Definition 3.7b holds, 3.7a does not).
+	CollideSometimes
+	// CollideAlways: the wires collide — every refinement compares
+	// their values (Definition 3.7a).
+	CollideAlways
+)
+
+// String names the class.
+func (c CollisionClass) String() string {
+	switch c {
+	case CollideNever:
+		return "cannot collide"
+	case CollideSometimes:
+		return "can collide"
+	case CollideAlways:
+		return "collide"
+	default:
+		return fmt.Sprintf("CollisionClass(%d)", int(c))
+	}
+}
+
+// MaxRefinements bounds the exhaustive enumeration in Classify and
+// ForEachRefinement: the number of refinements of p is the product of
+// the factorials of its class sizes.
+const MaxRefinements = 2_000_000
+
+// RefinementCount returns the number of distinct inputs p refines to,
+// or -1 if it exceeds MaxRefinements.
+func (p Pattern) RefinementCount() int64 {
+	total := int64(1)
+	counts := map[Symbol]int{}
+	for _, s := range p {
+		counts[s]++
+	}
+	for _, k := range counts {
+		for i := 2; i <= k; i++ {
+			total *= int64(i)
+			if total > MaxRefinements {
+				return -1
+			}
+		}
+	}
+	return total
+}
+
+// ForEachRefinement invokes f on every input π with p ⊐_W π, in a
+// deterministic order, stopping early if f returns false. It panics if
+// the refinement count exceeds MaxRefinements. The slice passed to f is
+// reused across calls.
+func (p Pattern) ForEachRefinement(f func(pi []int) bool) {
+	if p.RefinementCount() < 0 {
+		panic(fmt.Sprintf("pattern: more than %d refinements", MaxRefinements))
+	}
+	// Wires grouped by symbol in <_P order; class i gets the value
+	// block [base_i, base_i + |class_i|).
+	syms := p.Symbols()
+	classes := make([][]int, len(syms))
+	for i, s := range syms {
+		classes[i] = p.Set(s)
+	}
+	pi := make([]int, len(p))
+	var rec func(ci, base int) bool
+	rec = func(ci, base int) bool {
+		if ci == len(classes) {
+			return f(pi)
+		}
+		ws := classes[ci]
+		// Heap's algorithm over the class's value assignment.
+		vals := make([]int, len(ws))
+		for i := range vals {
+			vals[i] = base + i
+		}
+		var heap func(k int) bool
+		heap = func(k int) bool {
+			if k == 1 {
+				for i, w := range ws {
+					pi[w] = vals[i]
+				}
+				return rec(ci+1, base+len(ws))
+			}
+			for i := 0; i < k; i++ {
+				if !heap(k - 1) {
+					return false
+				}
+				if k%2 == 0 {
+					vals[i], vals[k-1] = vals[k-1], vals[i]
+				} else {
+					vals[0], vals[k-1] = vals[k-1], vals[0]
+				}
+			}
+			return true
+		}
+		return heap(len(ws))
+	}
+	rec(0, 0)
+}
+
+// Classify decides the Definition 3.7 trichotomy exactly, by running
+// the network on every refinement of p (so the pattern must have at
+// most MaxRefinements of them): do the values entering at w0 and w1
+// always / sometimes / never get compared?
+func Classify(c *network.Network, p Pattern, w0, w1 int) CollisionClass {
+	met, missed := false, false
+	p.ForEachRefinement(func(pi []int) bool {
+		if c.Compared(pi, pi[w0], pi[w1]) {
+			met = true
+		} else {
+			missed = true
+		}
+		return !(met && missed) // stop once both observed
+	})
+	switch {
+	case met && !missed:
+		return CollideAlways
+	case !met && missed:
+		return CollideNever
+	default:
+		return CollideSometimes
+	}
+}
+
+// NoncollidingExhaustive decides Definition 3.7(d) exactly by
+// enumeration: every pair of wires in the [sym]-set must be
+// CollideNever. It is the ground-truth (exponential) counterpart of
+// Noncolliding, used to validate the symbol-simulation checker.
+func NoncollidingExhaustive(c *network.Network, p Pattern, sym Symbol) bool {
+	set := p.Set(sym)
+	inSet := make(map[int]bool, len(set))
+	for _, w := range set {
+		inSet[w] = true
+	}
+	ok := true
+	p.ForEachRefinement(func(pi []int) bool {
+		setVal := make(map[int]bool, len(set))
+		for _, w := range set {
+			setVal[pi[w]] = true
+		}
+		_, trace := c.EvalTrace(pi)
+		for _, cp := range trace {
+			if setVal[cp.A] && setVal[cp.B] {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,152 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+)
+
+func TestForEachRefinementEnumeratesExactly(t *testing.T) {
+	// S0 M0 M0 L0: the M class has 2 orderings; S and L are singletons.
+	p := Pattern{S(0), M(0), M(0), L(0)}
+	if got := p.RefinementCount(); got != 2 {
+		t.Fatalf("RefinementCount = %d, want 2", got)
+	}
+	var seen [][]int
+	p.ForEachRefinement(func(pi []int) bool {
+		seen = append(seen, append([]int(nil), pi...))
+		return true
+	})
+	if len(seen) != 2 {
+		t.Fatalf("enumerated %d refinements", len(seen))
+	}
+	for _, pi := range seen {
+		if !p.RefinesInput(pi) {
+			t.Fatalf("enumerated non-refinement %v", pi)
+		}
+	}
+	// The two must differ exactly in the M values' order.
+	if seen[0][1] == seen[1][1] {
+		t.Fatalf("duplicate refinements: %v", seen)
+	}
+}
+
+func TestForEachRefinementCountMatchesFactorials(t *testing.T) {
+	// 3 M's and 2 S's: 3!·2! = 12.
+	p := Pattern{M(0), S(0), M(0), S(0), M(0)}
+	if got := p.RefinementCount(); got != 12 {
+		t.Fatalf("count = %d", got)
+	}
+	n := 0
+	p.ForEachRefinement(func([]int) bool { n++; return true })
+	if n != 12 {
+		t.Fatalf("enumerated %d", n)
+	}
+}
+
+func TestForEachRefinementEarlyStop(t *testing.T) {
+	p := Uniform(6, M(0)) // 720 refinements
+	n := 0
+	p.ForEachRefinement(func([]int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop failed: %d", n)
+	}
+}
+
+func TestRefinementCountOverflow(t *testing.T) {
+	if Uniform(30, M(0)).RefinementCount() != -1 {
+		t.Fatal("30! should overflow the bound")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForEachRefinement did not panic on overflow")
+		}
+	}()
+	Uniform(30, M(0)).ForEachRefinement(func([]int) bool { return true })
+}
+
+// Example 3.3, now with the exact classifier: every claim of the
+// example as stated in the paper.
+func TestExample33Classify(t *testing.T) {
+	c := network.New(4)
+	c.AddComparators(1, 2)
+	c.AddComparators(2, 3)
+	c.AddComparators(0, 3)
+	p := Pattern{S(0), M(0), M(0), L(0)}
+
+	cases := []struct {
+		w0, w1 int
+		want   CollisionClass
+	}{
+		{1, 2, CollideAlways},    // (1) first comparator joins them
+		{1, 3, CollideSometimes}, // (2) depends on the M ordering
+		{2, 3, CollideSometimes}, // (2) symmetric
+		{0, 3, CollideAlways},    // (3) no exchange can prevent it
+		{0, 1, CollideNever},     // (3) S never meets the M's
+		{0, 2, CollideNever},
+	}
+	for _, tc := range cases {
+		if got := Classify(c, p, tc.w0, tc.w1); got != tc.want {
+			t.Errorf("Classify(w%d, w%d) = %v, want %v", tc.w0, tc.w1, got, tc.want)
+		}
+	}
+}
+
+func TestCollisionClassString(t *testing.T) {
+	if CollideNever.String() != "cannot collide" ||
+		CollideAlways.String() != "collide" ||
+		CollideSometimes.String() != "can collide" {
+		t.Error("String names wrong")
+	}
+	if CollisionClass(9).String() == "" {
+		t.Error("unknown class should render")
+	}
+}
+
+// The fast symbol-simulation Noncolliding must agree with the exact
+// exhaustive decision on random small instances — the strongest
+// validation of the collision machinery the adversary rests on.
+func TestNoncollidingAgreesWithExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(4) // n in [4,7]: at most 7!-ish refinements
+		c := netbuild.RandomLevels(n, 1+rng.Intn(4), rng)
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), L(0)}[rng.Intn(3)]
+		}
+		fast := Noncolliding(c, p, M(0))
+		exact := NoncollidingExhaustive(c, p, M(0))
+		if fast != exact {
+			t.Fatalf("checker disagreement: fast=%v exact=%v\np=%v", fast, exact, p)
+		}
+	}
+}
+
+// Classify(…)==CollideNever for all pairs in a set must coincide with
+// NoncollidingExhaustive.
+func TestClassifyConsistentWithSetCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(3)
+		c := netbuild.RandomLevels(n, 1+rng.Intn(4), rng)
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), L(0)}[rng.Intn(3)]
+		}
+		set := p.Set(M(0))
+		allNever := true
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if Classify(c, p, set[i], set[j]) != CollideNever {
+					allNever = false
+				}
+			}
+		}
+		if allNever != NoncollidingExhaustive(c, p, M(0)) {
+			t.Fatalf("pairwise and set checks disagree")
+		}
+	}
+}

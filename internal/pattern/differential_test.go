@@ -1,0 +1,139 @@
+package pattern
+
+// Differential tests: the optimized relation implementations are
+// checked against direct transcriptions of the paper's definitions.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shufflenet/internal/netbuild"
+)
+
+// refinesBrute is Definition 3.1(b) verbatim: O(n²) over wire pairs.
+func refinesBrute(p, q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for w := range p {
+		for w2 := range p {
+			if Less(p[w], p[w2]) && !Less(q[w], q[w2]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refinesInputBrute is Definition 3.1(c) verbatim.
+func refinesInputBrute(p Pattern, pi []int) bool {
+	if len(p) != len(pi) {
+		return false
+	}
+	for w := range p {
+		for w2 := range p {
+			if Less(p[w], p[w2]) && pi[w] >= pi[w2] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randPattern(rng *rand.Rand, n int) Pattern {
+	p := make(Pattern, n)
+	for i := range p {
+		p[i] = randSymbol(rng)
+	}
+	return p
+}
+
+func TestRefinesDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		p, q := randPattern(rng, n), randPattern(rng, n)
+		if p.Refines(q) != refinesBrute(p, q) {
+			t.Logf("p=%v q=%v fast=%v brute=%v", p, q, p.Refines(q), refinesBrute(p, q))
+			return false
+		}
+		// Also check a pair that IS likely a refinement: q derived from
+		// p by class-splitting.
+		q2 := p.Clone()
+		for i := range q2 {
+			if q2[i].Kind == KindM && rng.Intn(2) == 0 {
+				q2[i].I += rng.Intn(3) // may or may not stay a refinement
+			}
+		}
+		return p.Refines(q2) == refinesBrute(p, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefinesInputDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		p := randPattern(rng, n)
+		pi := rng.Perm(n)
+		return p.RefinesInput(pi) == refinesInputBrute(p, pi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The refinement relation is a partial order on equivalence classes:
+// transitivity via the brute-force definition.
+func TestRefinesTransitiveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	found := 0
+	for trial := 0; trial < 4000 && found < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		p := randPattern(rng, n)
+		q := randPattern(rng, n)
+		r := randPattern(rng, n)
+		if p.Refines(q) && q.Refines(r) {
+			found++
+			if !p.Refines(r) {
+				t.Fatalf("transitivity violated: %v ⊐ %v ⊐ %v", p, q, r)
+			}
+		}
+	}
+	if found < 10 {
+		t.Skipf("only %d chained refinements found; weak sample", found)
+	}
+}
+
+// Pattern evaluation agrees with the set-image characterization of
+// Definition 3.5 on small instances: the multiset of symbols is
+// preserved and the output pattern is what every refined input maps to.
+func TestEvalPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + 2*rng.Intn(5)
+		c := netbuild.RandomLevels(n, 1+rng.Intn(5), rng)
+		p := randPattern(rng, n)
+		out := Eval(c, p)
+		cp, co := count(p), count(out)
+		if len(cp) != len(co) {
+			t.Fatalf("Eval changed the symbol multiset: %v -> %v", p, out)
+		}
+		for sym, k := range cp {
+			if co[sym] != k {
+				t.Fatalf("Eval changed the symbol multiset: %v -> %v", p, out)
+			}
+		}
+	}
+}
+
+func count(p Pattern) map[Symbol]int {
+	m := map[Symbol]int{}
+	for _, s := range p {
+		m[s]++
+	}
+	return m
+}

@@ -1,0 +1,175 @@
+package pattern
+
+import (
+	"fmt"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Event records one comparator firing during a pattern evaluation:
+// the values originating at input wires A and B met at a comparator of
+// the given level, carrying symbols SymA and SymB at that moment.
+//
+// When SymA == SymB the comparator's outcome is not determined by the
+// pattern (Ambiguous): the evaluation leaves the two values in place,
+// which is one of the two legal refinement behaviours. Wire identities
+// downstream of an ambiguous event are exact only for wires whose
+// symbols never participate in an ambiguous event — in particular for
+// the noncolliding [M_i]-sets the adversary maintains.
+type Event struct {
+	Level     int
+	A, B      int // input-wire ids whose values met (A on the min rail)
+	SymA      Symbol
+	SymB      Symbol
+	Ambiguous bool
+}
+
+// Result is the outcome of EvalTrace.
+type Result struct {
+	// Out is the output pattern (Definition 3.5): Out[r] is the symbol
+	// on output rail r.
+	Out Pattern
+	// PosOf[w] is the output rail holding the value that entered on
+	// wire w (exact for wires not downstream-entangled with ambiguous
+	// events; see Event).
+	PosOf perm.Perm
+	// Events lists every comparator firing in level order.
+	Events []Event
+}
+
+// Eval pushes the pattern p through the circuit c and returns the
+// output pattern (Definition 3.5): at each comparator the <_P-smaller
+// symbol exits on the min rail. Equal symbols are fixed points.
+func Eval(c *network.Network, p Pattern) Pattern {
+	checkWidth(c, p)
+	out := p.Clone()
+	for _, lv := range c.Levels() {
+		for _, cm := range lv {
+			if Less(out[cm.Max], out[cm.Min]) {
+				out[cm.Min], out[cm.Max] = out[cm.Max], out[cm.Min]
+			}
+		}
+	}
+	return out
+}
+
+// EvalTrace pushes p through c while tracking the input wire carried by
+// each value and recording every comparator firing.
+func EvalTrace(c *network.Network, p Pattern) Result {
+	checkWidth(c, p)
+	n := len(p)
+	syms := p.Clone()
+	ids := make(perm.Perm, n) // ids[rail] = input wire of the value on rail
+	for i := range ids {
+		ids[i] = i
+	}
+	events := make([]Event, 0, c.Size())
+	for li, lv := range c.Levels() {
+		for _, cm := range lv {
+			a, b := cm.Min, cm.Max
+			cmp := Compare(syms[a], syms[b])
+			events = append(events, Event{
+				Level: li, A: ids[a], B: ids[b],
+				SymA: syms[a], SymB: syms[b],
+				Ambiguous: cmp == 0,
+			})
+			if cmp > 0 {
+				syms[a], syms[b] = syms[b], syms[a]
+				ids[a], ids[b] = ids[b], ids[a]
+			}
+		}
+	}
+	posOf := make(perm.Perm, n)
+	for rail, w := range ids {
+		posOf[w] = rail
+	}
+	return Result{Out: syms, PosOf: posOf, Events: events}
+}
+
+// Noncolliding reports whether the [sym]-set of p is noncolliding in c
+// under p (Definition 3.7d): no two wires of the set can have their
+// values compared under any refinement of p. For a symbol class this
+// holds iff no comparator ever sees the symbol on both inputs, which is
+// what the trace detects.
+func Noncolliding(c *network.Network, p Pattern, sym Symbol) bool {
+	res := EvalTrace(c, p)
+	for _, ev := range res.Events {
+		if ev.Ambiguous && ev.SymA == sym {
+			return false
+		}
+	}
+	return true
+}
+
+// CollidingPairs returns, for each ambiguous event on sym, the pair of
+// input wires involved. Useful for diagnostics and tests.
+func CollidingPairs(c *network.Network, p Pattern, sym Symbol) [][2]int {
+	res := EvalTrace(c, p)
+	var out [][2]int
+	for _, ev := range res.Events {
+		if ev.Ambiguous && ev.SymA == sym {
+			out = append(out, [2]int{ev.A, ev.B})
+		}
+	}
+	return out
+}
+
+// VerifyNoncollidingByInputs cross-checks Noncolliding against concrete
+// evaluation (Definition 3.6): it refines p to `trials` concrete inputs
+// with distinct tie-breaking orders, runs the real network on each, and
+// reports whether in every run no two values from the set were
+// compared. The tie-break orders are rotations of the set, which is
+// enough to exercise distinct routings through ambiguous regions.
+func VerifyNoncollidingByInputs(c *network.Network, p Pattern, sym Symbol, trials int) bool {
+	set := p.Set(sym)
+	inSet := make(map[int]bool, len(set))
+	for _, w := range set {
+		inSet[w] = true
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	for t := 0; t < trials; t++ {
+		rot := t % max(1, len(set))
+		pi := p.RefineToInput(func(a, b int) bool {
+			// Rotate the relative order of set members; leave others.
+			if inSet[a] && inSet[b] {
+				ra := (indexOf(set, a) + rot) % len(set)
+				rb := (indexOf(set, b) + rot) % len(set)
+				return ra < rb
+			}
+			return a < b
+		})
+		if !p.RefinesInput(pi) {
+			panic("pattern: RefineToInput produced a non-refinement")
+		}
+		_, trace := c.EvalTrace(pi)
+		// Which values belong to set members?
+		setVal := make(map[int]bool, len(set))
+		for _, w := range set {
+			setVal[pi[w]] = true
+		}
+		for _, cp := range trace {
+			if setVal[cp.A] && setVal[cp.B] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkWidth(c *network.Network, p Pattern) {
+	if c.Wires() != len(p) {
+		panic(fmt.Sprintf("pattern: pattern width %d != network width %d", len(p), c.Wires()))
+	}
+}

@@ -1,0 +1,204 @@
+package pattern
+
+// Executable statements of the paper's basic lemmas (Section 3.3).
+// Each lemma becomes a property checked over randomized instances.
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+)
+
+// Lemma 3.1: if p uses only {S0, M0, L0}, W = W0 ∪ W1 disjointly,
+// A = [M0]-set of p, and q0, q1 are patterns on W0, W1 with all A-wires
+// mapped strictly between S0 and L0, then p|W0 ⊃_{A∩W0} q0 and
+// p|W1 ⊃_{A∩W1} q1 imply p ⊃_A (q0 ⊕ q1).
+func TestLemma31(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), L(0)}[rng.Intn(3)]
+		}
+		// Random disjoint cover W0 / W1.
+		var w0, w1 []int
+		for w := 0; w < n; w++ {
+			if rng.Intn(2) == 0 {
+				w0 = append(w0, w)
+			} else {
+				w1 = append(w1, w)
+			}
+		}
+		// Build independent A-refinements of the two restrictions:
+		// split the M0 class into M-symbols with fresh indices (all
+		// strictly between S0 and L0 in <_P).
+		refineHalf := func(ws []int) Pattern {
+			q := p.Restrict(ws)
+			for i := range q {
+				if q[i] == M(0) {
+					q[i] = M(rng.Intn(4))
+				}
+			}
+			return q
+		}
+		q0, q1 := refineHalf(w0), refineHalf(w1)
+
+		aw0 := p.Restrict(w0).Set(M(0))
+		aw1 := p.Restrict(w1).Set(M(0))
+		if !p.Restrict(w0).URefines(q0, aw0) || !p.Restrict(w1).URefines(q1, aw1) {
+			t.Fatal("half-refinements malformed (test bug)")
+		}
+
+		joined := Join(n, [][]int{w0, w1}, []Pattern{q0, q1})
+		if !p.URefines(joined, p.Set(M(0))) {
+			t.Fatalf("Lemma 3.1 violated:\np = %v\nq = %v", p, joined)
+		}
+	}
+}
+
+// Lemma 3.2: if the [P0]- and [P1]-sets are each noncolliding in the
+// first d−1 levels, then any w0 in [P0], w1 in [P1] either collide at
+// level d under EVERY refinement or under NONE — i.e. whether the two
+// values meet at the last level does not depend on the refinement.
+func TestLemma32(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		n := 8
+		d := 1 + rng.Intn(4)
+		c := netbuild.RandomLevels(n, d, rng)
+		prefix := c.Truncate(d - 1)
+
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), M(1), L(0)}[rng.Intn(4)]
+		}
+		if !Noncolliding(prefix, p, M(0)) || !Noncolliding(prefix, p, M(1)) {
+			continue // premise not satisfied; resample
+		}
+		set0, set1 := p.Set(M(0)), p.Set(M(1))
+		for _, w0 := range set0 {
+			for _, w1 := range set1 {
+				// Decide collision at level d over a spread of
+				// refinements (rotating tie-breaks).
+				met := map[bool]bool{}
+				for rot := 0; rot < 4; rot++ {
+					pi := p.RefineToInput(func(a, b int) bool {
+						return (a+rot)%n < (b+rot)%n
+					})
+					if !p.RefinesInput(pi) {
+						t.Fatal("refinement bug")
+					}
+					_, trace := c.EvalTrace(pi)
+					m := false
+					for _, cp := range trace {
+						if cp.Level == d-1 &&
+							((cp.A == pi[w0] && cp.B == pi[w1]) || (cp.A == pi[w1] && cp.B == pi[w0])) {
+							m = true
+						}
+					}
+					met[m] = true
+				}
+				if len(met) > 1 {
+					t.Fatalf("Lemma 3.2 violated: wires %d,%d meet at level %d under some refinements only\np=%v", w0, w1, d, p)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 3.3 (composition): pushing a pattern through Λ0 and refining
+// the result inside the image of the [M_i]-set lifts back to a
+// refinement at Λ0's inputs, and noncollision in Λ1 under the refined
+// output pattern gives noncollision in Λ0 ⊗ Λ1. We check the
+// observable consequence: noncollision of [M0] in the composite equals
+// noncollision in Λ0 plus noncollision of the forwarded pattern in Λ1.
+func TestLemma33(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		n := 8
+		l0 := netbuild.RandomLevels(n, 1+rng.Intn(3), rng)
+		l1 := netbuild.RandomLevels(n, 1+rng.Intn(3), rng)
+		comp := l0.Clone().Append(l1)
+
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), L(0)}[rng.Intn(3)]
+		}
+		if !Noncolliding(l0, p, M(0)) {
+			continue // premise
+		}
+		q := Eval(l0, p) // Λ0(p), Definition 3.5
+		want := Noncolliding(l1, q, M(0))
+		got := Noncolliding(comp, p, M(0))
+		if got != want {
+			t.Fatalf("Lemma 3.3 violated: composite=%v, forwarded=%v\np=%v q=%v", got, want, p, q)
+		}
+	}
+}
+
+// Lemma 3.4: if the [M_i]-set A is noncolliding in Λ under p, it is
+// noncolliding under ρ_i(p) as well.
+func TestLemma34(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 50; trial++ {
+		n := 8
+		c := netbuild.RandomLevels(n, 1+rng.Intn(4), rng)
+		p := make(Pattern, n)
+		for w := range p {
+			p[w] = []Symbol{S(0), S(1), X(0, 0), M(0), M(1), M(2), L(0), L(1)}[rng.Intn(8)]
+		}
+		for i := 0; i < 3; i++ {
+			if len(p.Set(M(i))) < 2 || !Noncolliding(c, p, M(i)) {
+				continue
+			}
+			checked++
+			renamed := p.Rename(i)
+			if !Noncolliding(c, renamed, M(0)) {
+				t.Fatalf("Lemma 3.4 violated for i=%d:\np = %v\nρ = %v", i, p, renamed)
+			}
+			// The renamed set must be the same wires.
+			a, b := p.Set(M(i)), renamed.Set(M(0))
+			if len(a) != len(b) {
+				t.Fatalf("ρ changed the set size")
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("ρ changed the set membership")
+				}
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances satisfied the premise; weak test", checked)
+	}
+}
+
+// The two-model equivalence claim of Section 1, at the pattern level:
+// evaluating a pattern on a circuit and on its register conversion
+// agree (modulo the conversion's placement).
+func TestPatternEvalAcrossModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 30; trial++ {
+		n := 8
+		c := netbuild.RandomLevels(n, 1+rng.Intn(4), rng)
+		reg, place := network.ToRegister(c)
+		circBack, place2 := network.FromRegister(reg)
+		_ = place
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = []Symbol{S(0), M(0), L(0)}[rng.Intn(3)]
+		}
+		a := Eval(c, p)
+		b := Eval(circBack, p)
+		_ = place2
+		for r := 0; r < n; r++ {
+			if a[r] != b[r] {
+				t.Fatal("pattern evaluation differs across a model round trip")
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is an input pattern (Definition 3.1a): a total mapping from
+// wires to pattern symbols. Wires are identified with indices 0..n−1;
+// p[w] is the symbol on wire w.
+type Pattern []Symbol
+
+// Uniform returns the pattern assigning sym to all n wires.
+func Uniform(n int, sym Symbol) Pattern {
+	p := make(Pattern, n)
+	for i := range p {
+		p[i] = sym
+	}
+	return p
+}
+
+// Clone returns a copy of p.
+func (p Pattern) Clone() Pattern {
+	q := make(Pattern, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q assign identical symbols everywhere.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Set returns the [sym]-set of p: the wires carrying sym, in increasing
+// order.
+func (p Pattern) Set(sym Symbol) []int {
+	var out []int
+	for w, s := range p {
+		if s == sym {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Count returns the number of wires carrying sym.
+func (p Pattern) Count(sym Symbol) int {
+	n := 0
+	for _, s := range p {
+		if s == sym {
+			n++
+		}
+	}
+	return n
+}
+
+// Symbols returns the distinct symbols of p in <_P order.
+func (p Pattern) Symbols() []Symbol {
+	seen := map[Symbol]bool{}
+	var out []Symbol
+	for _, s := range p {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// Refines reports whether p can be refined to q (Definition 3.1b,
+// p ⊐_W q): for all wires w, w', p(w) <_P p(w') implies q(w) <_P q(w').
+// Equivalently, for consecutive symbol classes of p in <_P order, every
+// q-symbol used in the earlier class is strictly below every q-symbol
+// used in the later class.
+func (p Pattern) Refines(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	type rng struct{ min, max Symbol }
+	classes := map[Symbol]*rng{}
+	for w, s := range p {
+		r, ok := classes[s]
+		if !ok {
+			classes[s] = &rng{min: q[w], max: q[w]}
+			continue
+		}
+		if Less(q[w], r.min) {
+			r.min = q[w]
+		}
+		if Less(r.max, q[w]) {
+			r.max = q[w]
+		}
+	}
+	syms := p.Symbols()
+	for i := 1; i < len(syms); i++ {
+		prev, cur := classes[syms[i-1]], classes[syms[i]]
+		if !Less(prev.max, cur.min) {
+			return false
+		}
+	}
+	return true
+}
+
+// URefines reports whether p can be U-refined to q (Definition 3.2b):
+// p ⊐_W q and p(w) = q(w) for every wire outside U.
+func (p Pattern) URefines(q Pattern, u []int) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	inU := make(map[int]bool, len(u))
+	for _, w := range u {
+		inU[w] = true
+	}
+	for w := range p {
+		if !inU[w] && p[w] != q[w] {
+			return false
+		}
+	}
+	return p.Refines(q)
+}
+
+// RefinesInput reports whether p can be refined to the input π
+// (Definition 3.1c): p(w) <_P p(w') implies π(w) < π(w').
+func (p Pattern) RefinesInput(pi []int) bool {
+	if len(p) != len(pi) {
+		return false
+	}
+	type rng struct{ min, max int }
+	classes := map[Symbol]*rng{}
+	for w, s := range p {
+		r, ok := classes[s]
+		if !ok {
+			classes[s] = &rng{min: pi[w], max: pi[w]}
+			continue
+		}
+		if pi[w] < r.min {
+			r.min = pi[w]
+		}
+		if pi[w] > r.max {
+			r.max = pi[w]
+		}
+	}
+	syms := p.Symbols()
+	for i := 1; i < len(syms); i++ {
+		if classes[syms[i-1]].max >= classes[syms[i]].min {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether p and q refine each other, i.e. they
+// describe the same set of inputs and differ only by an
+// order-preserving renaming.
+func (p Pattern) Equivalent(q Pattern) bool {
+	return p.Refines(q) && q.Refines(p)
+}
+
+// RefineToInput produces a concrete input (a permutation of 0..n−1)
+// that p refines to: wires are ranked by their symbol under <_P, ties
+// broken by the order callback if non-nil (less over wire indices)
+// and by wire index otherwise.
+func (p Pattern) RefineToInput(tieLess func(a, b int) bool) []int {
+	n := len(p)
+	wires := make([]int, n)
+	for i := range wires {
+		wires[i] = i
+	}
+	sort.SliceStable(wires, func(x, y int) bool {
+		a, b := wires[x], wires[y]
+		if c := Compare(p[a], p[b]); c != 0 {
+			return c < 0
+		}
+		if tieLess != nil {
+			return tieLess(a, b)
+		}
+		return a < b
+	})
+	pi := make([]int, n)
+	for rank, w := range wires {
+		pi[w] = rank
+	}
+	return pi
+}
+
+// Rename applies Lemma 3.4's renaming ρ_i: every symbol below M_i
+// becomes S_0, every symbol above M_i becomes L_0, and M_i itself
+// becomes M_0. The result uses only {S_0, M_0, L_0} and preserves
+// noncollision of the [M_i]-set (Lemma 3.4).
+func (p Pattern) Rename(i int) Pattern {
+	mi := M(i)
+	q := make(Pattern, len(p))
+	for w, s := range p {
+		switch Compare(s, mi) {
+		case -1:
+			q[w] = S(0)
+		case 1:
+			q[w] = L(0)
+		default:
+			q[w] = M(0)
+		}
+	}
+	return q
+}
+
+// Restrict returns the restriction p|_U as a new pattern over the wires
+// in u (in the given order), together with the mapping back to original
+// wire indices (the slice u itself).
+func (p Pattern) Restrict(u []int) Pattern {
+	q := make(Pattern, len(u))
+	for i, w := range u {
+		q[i] = p[w]
+	}
+	return q
+}
+
+// Join implements ⊕ (Definition 3.3) for index-disjoint patterns given
+// as (wires, pattern) pairs over a common wire universe of size n:
+// it scatters each sub-pattern back to its wires. Panics if a wire is
+// covered twice or not at all.
+func Join(n int, wires [][]int, parts []Pattern) Pattern {
+	if len(wires) != len(parts) {
+		panic("pattern.Join: wires/parts length mismatch")
+	}
+	out := make(Pattern, n)
+	covered := make([]bool, n)
+	for k, ws := range wires {
+		if len(ws) != len(parts[k]) {
+			panic("pattern.Join: part size mismatch")
+		}
+		for i, w := range ws {
+			if covered[w] {
+				panic(fmt.Sprintf("pattern.Join: wire %d covered twice", w))
+			}
+			covered[w] = true
+			out[w] = parts[k][i]
+		}
+	}
+	for w, c := range covered {
+		if !c {
+			panic(fmt.Sprintf("pattern.Join: wire %d not covered", w))
+		}
+	}
+	return out
+}
+
+// String renders the pattern as a space-separated symbol list.
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}

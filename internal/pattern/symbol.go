@@ -1,0 +1,126 @@
+// Package pattern implements Section 3 of Plaxton & Suel (SPAA 1992):
+// input patterns over the fixed pattern alphabet
+//
+//	P = { S_i, X_{i,j}, M_i, L_i | i, j >= 0 }
+//
+// with the total order <_P defined by
+//
+//	S_i < S_{i+1},   S_i < X_{0,0},   X_{i,j} < X_{i,j+1},
+//	X_{i,j} < M_i,   M_i < X_{i+1,0}, M_i < L_j,   L_{i+1} < L_i,
+//
+// together with pattern refinement (Definition 3.1–3.3), [P]-sets,
+// order-preserving renamings (Lemma 3.4's ρ_i), pattern evaluation
+// through a comparator network (Definition 3.5), and the collision
+// bookkeeping (Definitions 3.6–3.7) that the lower-bound adversary in
+// internal/core is built on.
+package pattern
+
+import "fmt"
+
+// Kind identifies the family of a pattern symbol.
+type Kind uint8
+
+const (
+	// KindS is the family S_i of "small" symbols.
+	KindS Kind = iota
+	// KindX is the family X_{i,j} of discarded symbols parked just
+	// below M_i.
+	KindX
+	// KindM is the family M_i of tracked "medium" symbols.
+	KindM
+	// KindL is the family L_i of "large" symbols (ordered by
+	// descending index: L_{i+1} < L_i).
+	KindL
+)
+
+// Symbol is one element of the pattern alphabet P. J is meaningful only
+// for KindX.
+type Symbol struct {
+	Kind Kind
+	I    int
+	J    int
+}
+
+// S returns the symbol S_i.
+func S(i int) Symbol { return Symbol{Kind: KindS, I: i} }
+
+// X returns the symbol X_{i,j}.
+func X(i, j int) Symbol { return Symbol{Kind: KindX, I: i, J: j} }
+
+// M returns the symbol M_i.
+func M(i int) Symbol { return Symbol{Kind: KindM, I: i} }
+
+// L returns the symbol L_i.
+func L(i int) Symbol { return Symbol{Kind: KindL, I: i} }
+
+// class returns the coarse position of the symbol's family in <_P:
+// all S's come first, then the interleaved X/M block, then all L's.
+func (s Symbol) class() int {
+	switch s.Kind {
+	case KindS:
+		return 0
+	case KindX, KindM:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Compare returns -1, 0, or +1 as a <_P b, a = b, or a >_P b.
+func Compare(a, b Symbol) int {
+	ca, cb := a.class(), b.class()
+	if ca != cb {
+		return sign(ca - cb)
+	}
+	switch ca {
+	case 0: // S_i ascending in i
+		return sign(a.I - b.I)
+	case 2: // L_i DESCENDING in i: L_{i+1} < L_i
+		return sign(b.I - a.I)
+	}
+	// Interleaved X/M block: X_{i,0} < ... < X_{i,j} < M_i < X_{i+1,0}.
+	if a.I != b.I {
+		return sign(a.I - b.I)
+	}
+	aM, bM := a.Kind == KindM, b.Kind == KindM
+	switch {
+	case aM && bM:
+		return 0
+	case aM:
+		return 1 // M_i > X_{i,j}
+	case bM:
+		return -1
+	default:
+		return sign(a.J - b.J)
+	}
+}
+
+// Less reports a <_P b.
+func Less(a, b Symbol) bool { return Compare(a, b) < 0 }
+
+// String renders the symbol in the paper's notation: S3, X2.1, M0, L4.
+func (s Symbol) String() string {
+	switch s.Kind {
+	case KindS:
+		return fmt.Sprintf("S%d", s.I)
+	case KindX:
+		return fmt.Sprintf("X%d.%d", s.I, s.J)
+	case KindM:
+		return fmt.Sprintf("M%d", s.I)
+	case KindL:
+		return fmt.Sprintf("L%d", s.I)
+	default:
+		return fmt.Sprintf("?%d.%d.%d", s.Kind, s.I, s.J)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

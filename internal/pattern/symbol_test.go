@@ -1,0 +1,116 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// orderedSample returns a list of symbols in strictly increasing <_P
+// order, straddling every clause of the paper's order definition.
+func orderedSample() []Symbol {
+	return []Symbol{
+		S(0), S(1), S(2), S(7),
+		X(0, 0), X(0, 1), X(0, 5), M(0),
+		X(1, 0), X(1, 2), M(1),
+		X(2, 0), M(2), M(3),
+		L(9), L(4), L(1), L(0),
+	}
+}
+
+func TestOrderChain(t *testing.T) {
+	syms := orderedSample()
+	for i := 0; i < len(syms); i++ {
+		for j := 0; j < len(syms); j++ {
+			got := Compare(syms[i], syms[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", syms[i], syms[j], got, want)
+			}
+		}
+	}
+}
+
+func TestOrderPaperClauses(t *testing.T) {
+	// The seven defining clauses, one by one.
+	cases := []struct{ lo, hi Symbol }{
+		{S(3), S(4)},       // S_i < S_{i+1}
+		{S(99), X(0, 0)},   // S_i < X_{0,0}
+		{X(2, 3), X(2, 4)}, // X_{i,j} < X_{i,j+1}
+		{X(2, 9), M(2)},    // X_{i,j} < M_i
+		{M(2), X(3, 0)},    // M_i < X_{i+1,0}
+		{M(7), L(3)},       // M_i < L_j (any i, j)
+		{L(5), L(4)},       // L_{i+1} < L_i
+	}
+	for _, c := range cases {
+		if !Less(c.lo, c.hi) {
+			t.Errorf("want %v <_P %v", c.lo, c.hi)
+		}
+		if Less(c.hi, c.lo) {
+			t.Errorf("order not antisymmetric on (%v, %v)", c.lo, c.hi)
+		}
+	}
+}
+
+func randSymbol(rng *rand.Rand) Symbol {
+	switch rng.Intn(4) {
+	case 0:
+		return S(rng.Intn(6))
+	case 1:
+		return X(rng.Intn(6), rng.Intn(6))
+	case 2:
+		return M(rng.Intn(6))
+	default:
+		return L(rng.Intn(6))
+	}
+}
+
+func TestOrderIsTotalAndTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randSymbol(rng), randSymbol(rng), randSymbol(rng)
+		// Antisymmetry / totality.
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		if Compare(a, b) == 0 && a != b {
+			return false
+		}
+		// Transitivity.
+		if Less(a, b) && Less(b, c) && !Less(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	cases := map[string]Symbol{
+		"S0":   S(0),
+		"X2.1": X(2, 1),
+		"M3":   M(3),
+		"L4":   L(4),
+	}
+	for want, sym := range cases {
+		if got := sym.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", sym, got, want)
+		}
+	}
+}
+
+func TestMZeroSitsBetweenSAndL(t *testing.T) {
+	// The invariant the whole proof rests on: every S_i < M_0-adjacent
+	// region < every L_i, and there is room for unboundedly many X and
+	// M symbols in between.
+	if !Less(S(1000), X(0, 0)) || !Less(M(1000), L(1000)) {
+		t.Error("S/X/M/L macro-order broken")
+	}
+}

@@ -1,0 +1,266 @@
+// Package perm implements permutations of {0, ..., n-1} and the named
+// permutation families that hypercubic networks are built from.
+//
+// A Perm p is stored in one-line notation: p[i] is the image of i. When
+// a Perm is used to route data between network levels (the Π_i of the
+// paper's register model), the value on wire i moves to wire p[i]; see
+// Apply and Route for the two directions of that convention.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shufflenet/internal/bits"
+)
+
+// Perm is a permutation of {0, ..., n-1} in one-line notation:
+// the image of i is p[i].
+type Perm []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation on n elements drawn
+// from rng (Fisher–Yates).
+func Random(n int, rng *rand.Rand) Perm {
+	p := Identity(n)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle returns the perfect shuffle permutation π on n = 2^d
+// elements: if j has binary representation j_{d-1}...j_0, then
+// π(j) = j_{d-2}...j_0 j_{d-1} (a left rotation of the bit string).
+// Following the paper (Section 1), shuffling register contents by π
+// interleaves the two halves of the register file.
+func Shuffle(n int) Perm {
+	d := bits.Lg(n)
+	p := make(Perm, n)
+	for j := range p {
+		p[j] = bits.RotLeft(j, d)
+	}
+	return p
+}
+
+// Unshuffle returns the inverse π⁻¹ of the perfect shuffle on n = 2^d
+// elements (a right rotation of the bit string).
+func Unshuffle(n int) Perm {
+	d := bits.Lg(n)
+	p := make(Perm, n)
+	for j := range p {
+		p[j] = bits.RotRight(j, d)
+	}
+	return p
+}
+
+// BitReversal returns the bit-reversal permutation on n = 2^d elements.
+func BitReversal(n int) Perm {
+	d := bits.Lg(n)
+	p := make(Perm, n)
+	for j := range p {
+		p[j] = bits.Reverse(j, d)
+	}
+	return p
+}
+
+// BitFlip returns the permutation on n = 2^d elements that complements
+// bit k of the index: the "exchange" dimension-k neighbor map of the
+// hypercube.
+func BitFlip(n, k int) Perm {
+	d := bits.Lg(n)
+	if k < 0 || k >= d {
+		panic(fmt.Sprintf("perm.BitFlip: bit %d out of range for n=%d", k, n))
+	}
+	p := make(Perm, n)
+	for j := range p {
+		p[j] = bits.FlipBit(j, k)
+	}
+	return p
+}
+
+// Transposition returns the permutation on n elements exchanging a and b.
+func Transposition(n, a, b int) Perm {
+	p := Identity(n)
+	p[a], p[b] = p[b], p[a]
+	return p
+}
+
+// Len returns the number of elements the permutation acts on.
+func (p Perm) Len() int { return len(p) }
+
+// Valid reports whether p is a permutation of {0, ..., len(p)-1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// MustValid panics if p is not a valid permutation.
+func (p Perm) MustValid() {
+	if !p.Valid() {
+		panic(fmt.Sprintf("perm: invalid permutation %v", []int(p)))
+	}
+}
+
+// Inverse returns the inverse permutation of p.
+func (p Perm) Inverse() Perm {
+	inv := make(Perm, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// Compose returns the permutation "q after p": (p.Compose(q))(i) = q(p(i)).
+// In routing terms: first move data along p, then along q.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm.Compose: size mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = q[p[i]]
+	}
+	return r
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether p is the identity.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Route permutes data according to p in the register-model convention:
+// the value data[i] moves to position p[i] of the result. Route leaves
+// data unmodified and returns a fresh slice.
+func (p Perm) Route(data []int) []int {
+	if len(data) != len(p) {
+		panic(fmt.Sprintf("perm.Route: data length %d != permutation size %d", len(data), len(p)))
+	}
+	out := make([]int, len(data))
+	for i, v := range data {
+		out[p[i]] = v
+	}
+	return out
+}
+
+// RouteInto is Route writing into dst (which must have the same length
+// as p and must not alias data).
+func (p Perm) RouteInto(dst, data []int) {
+	if len(data) != len(p) || len(dst) != len(p) {
+		panic("perm.RouteInto: length mismatch")
+	}
+	for i, v := range data {
+		dst[p[i]] = v
+	}
+}
+
+// Apply returns the image of a single point under p.
+func (p Perm) Apply(i int) int { return p[i] }
+
+// Cycles returns the cycle decomposition of p. Each cycle lists its
+// elements starting from its minimum element; cycles are ordered by
+// their minimum element. Fixed points are included as 1-cycles.
+func (p Perm) Cycles() [][]int {
+	seen := make([]bool, len(p))
+	var cycles [][]int
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		var c []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			c = append(c, j)
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// Order returns the multiplicative order of p (the lcm of its cycle
+// lengths).
+func (p Perm) Order() int {
+	order := 1
+	for _, c := range p.Cycles() {
+		order = lcm(order, len(c))
+	}
+	return order
+}
+
+// Sign returns +1 for even permutations and -1 for odd ones.
+func (p Perm) Sign() int {
+	s := 1
+	for _, c := range p.Cycles() {
+		if len(c)%2 == 0 {
+			s = -s
+		}
+	}
+	return s
+}
+
+// Fixed returns the number of fixed points of p.
+func (p Perm) Fixed() int {
+	n := 0
+	for i, v := range p {
+		if i == v {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders p in one-line notation.
+func (p Perm) String() string {
+	return fmt.Sprintf("%v", []int(p))
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}

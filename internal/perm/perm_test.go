@@ -1,0 +1,272 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shufflenet/internal/bits"
+)
+
+func randPerm(t *testing.T, n int, seed int64) Perm {
+	t.Helper()
+	p := Random(n, rand.New(rand.NewSource(seed)))
+	if !p.Valid() {
+		t.Fatalf("Random produced invalid permutation %v", p)
+	}
+	return p
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(6)
+	if !p.Valid() || !p.IsIdentity() || p.Fixed() != 6 || p.Order() != 1 || p.Sign() != 1 {
+		t.Errorf("Identity(6) misbehaves: %v", p)
+	}
+}
+
+func TestShuffleDefinition(t *testing.T) {
+	// For n=8: pi(j_2 j_1 j_0) = j_1 j_0 j_2.
+	want := Perm{0, 2, 4, 6, 1, 3, 5, 7}
+	if got := Shuffle(8); !got.Equal(want) {
+		t.Errorf("Shuffle(8) = %v, want %v", got, want)
+	}
+}
+
+func TestShuffleInterleavesHalves(t *testing.T) {
+	// Routing by the shuffle must interleave the two halves of the deck:
+	// (0..3, 4..7) -> 0 4 1 5 2 6 3 7.
+	data := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got := Shuffle(8).Route(data)
+	want := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shuffle route = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnshuffleIsInverse(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		if !Shuffle(n).Compose(Unshuffle(n)).IsIdentity() {
+			t.Errorf("n=%d: unshuffle∘shuffle != id", n)
+		}
+		if !Shuffle(n).Inverse().Equal(Unshuffle(n)) {
+			t.Errorf("n=%d: Shuffle.Inverse != Unshuffle", n)
+		}
+	}
+}
+
+func TestShuffleOrderIsLgN(t *testing.T) {
+	// shuffle^d = identity on 2^d elements, and no smaller power is
+	// (the order is exactly d when d is prime; in general it divides d).
+	for _, n := range []int{2, 4, 8, 16, 32, 128} {
+		d := bits.Lg(n)
+		p := Identity(n)
+		for i := 0; i < d; i++ {
+			p = p.Compose(Shuffle(n))
+		}
+		if !p.IsIdentity() {
+			t.Errorf("n=%d: shuffle^%d != id", n, d)
+		}
+	}
+	if Shuffle(8).Order() != 3 {
+		t.Errorf("Shuffle(8) order = %d, want 3", Shuffle(8).Order())
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024} {
+		r := BitReversal(n)
+		if !r.Compose(r).IsIdentity() {
+			t.Errorf("n=%d: bit reversal is not an involution", n)
+		}
+	}
+}
+
+func TestBitReversalConjugatesShuffle(t *testing.T) {
+	// R ∘ shuffle ∘ R = unshuffle: rotating left in reversed bit order
+	// is rotating right.
+	for _, n := range []int{4, 16, 256} {
+		r := BitReversal(n)
+		got := r.Compose(Shuffle(n)).Compose(r)
+		if !got.Equal(Unshuffle(n)) {
+			t.Errorf("n=%d: R∘shuffle∘R != unshuffle", n)
+		}
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	p := BitFlip(8, 0)
+	want := Perm{1, 0, 3, 2, 5, 4, 7, 6}
+	if !p.Equal(want) {
+		t.Errorf("BitFlip(8,0) = %v", p)
+	}
+	if !p.Compose(p).IsIdentity() {
+		t.Error("BitFlip not an involution")
+	}
+	if p.Sign() != 1 { // 4 transpositions: even
+		t.Error("BitFlip(8,0) should be even")
+	}
+}
+
+func TestTransposition(t *testing.T) {
+	p := Transposition(5, 1, 3)
+	if p.Sign() != -1 || p.Fixed() != 3 || p.Order() != 2 {
+		t.Errorf("Transposition(5,1,3) = %v misbehaves", p)
+	}
+}
+
+func TestInverseComposeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		p := Random(n, rng)
+		if !p.Compose(p.Inverse()).IsIdentity() || !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatalf("inverse failed for %v", p)
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(64)
+		p, q, r := Random(n, rng), Random(n, rng), Random(n, rng)
+		if !p.Compose(q).Compose(r).Equal(p.Compose(q.Compose(r))) {
+			t.Fatal("composition not associative")
+		}
+	}
+}
+
+func TestRouteMatchesCompose(t *testing.T) {
+	// Routing data by p then q must equal routing by p.Compose(q).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(64)
+		p, q := Random(n, rng), Random(n, rng)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(1000)
+		}
+		step := q.Route(p.Route(data))
+		direct := p.Compose(q).Route(data)
+		for i := range step {
+			if step[i] != direct[i] {
+				t.Fatalf("route mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestRouteInverseRestores(t *testing.T) {
+	p := randPerm(t, 40, 99)
+	data := make([]int, 40)
+	for i := range data {
+		data[i] = i * i
+	}
+	back := p.Inverse().Route(p.Route(data))
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatal("inverse route did not restore data")
+		}
+	}
+}
+
+func TestRouteInto(t *testing.T) {
+	p := Shuffle(8)
+	data := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	dst := make([]int, 8)
+	p.RouteInto(dst, data)
+	want := p.Route(data)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatal("RouteInto differs from Route")
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := Perm{1, 2, 0, 4, 3, 5} // (0 1 2)(3 4)(5)
+	cycles := p.Cycles()
+	if len(cycles) != 3 {
+		t.Fatalf("got %d cycles", len(cycles))
+	}
+	if len(cycles[0]) != 3 || len(cycles[1]) != 2 || len(cycles[2]) != 1 {
+		t.Errorf("cycle shape wrong: %v", cycles)
+	}
+	if p.Order() != 6 {
+		t.Errorf("order = %d, want 6", p.Order())
+	}
+	if p.Sign() != -1 {
+		t.Errorf("sign = %d, want -1", p.Sign())
+	}
+}
+
+func TestSignHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(32)
+		p, q := Random(n, rng), Random(n, rng)
+		if p.Compose(q).Sign() != p.Sign()*q.Sign() {
+			t.Fatal("sign is not a homomorphism")
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	bad := []Perm{{0, 0}, {1, 2}, {-1, 0}, {2, 1, 0, 2}}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("Valid accepted %v", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValid did not panic")
+		}
+	}()
+	Perm{0, 0}.MustValid()
+}
+
+func TestQuickInverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Random(33, rand.New(rand.NewSource(seed)))
+		return p.Inverse().Inverse().Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		return Random(65, rand.New(rand.NewSource(seed))).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Shuffle(8)
+	q := p.Clone()
+	q[0], q[1] = q[1], q[0]
+	if p.Equal(q) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Compose mismatch", func() { Identity(3).Compose(Identity(4)) })
+	mustPanic("Route mismatch", func() { Identity(3).Route([]int{1, 2}) })
+	mustPanic("BitFlip range", func() { BitFlip(8, 3) })
+	mustPanic("Shuffle non-pow2", func() { Shuffle(6) })
+}

@@ -1,0 +1,105 @@
+package randnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+func TestRandomizerIsComparatorFree(t *testing.T) {
+	r := ScramblePasses(16, 2, rand.New(rand.NewSource(1)))
+	if r.Size() != 0 {
+		t.Fatalf("scrambler contains %d comparators", r.Size())
+	}
+	if !r.IsShuffleBased() {
+		t.Fatal("scrambler not shuffle-based")
+	}
+	if r.Depth() != 2*4 {
+		t.Fatalf("depth = %d", r.Depth())
+	}
+	// It must be a fixed permutation: same input -> same output, and a
+	// bijection.
+	in := []int(perm.Identity(16))
+	out1 := r.Eval(in)
+	out2 := r.Eval(in)
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatal("instance not deterministic")
+		}
+	}
+	if !perm.Perm(out1).Valid() {
+		t.Fatal("scramble not a bijection")
+	}
+}
+
+func TestScrambleInstancesDiffer(t *testing.T) {
+	in := []int(perm.Identity(32))
+	a := ScramblePasses(32, 1, rand.New(rand.NewSource(1))).Eval(in)
+	b := ScramblePasses(32, 1, rand.New(rand.NewSource(2))).Eval(in)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical scrambles")
+	}
+}
+
+func TestButterflyPassesExtremes(t *testing.T) {
+	// One ascending butterfly pass routes min to register 0 and max to
+	// register n-1.
+	n := 32
+	r := ButterflyPasses(n, 1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		in := []int(perm.Random(n, rng))
+		out := r.Eval(in)
+		if out[0] != 0 || out[n-1] != n-1 {
+			t.Fatalf("extremes not routed: %v", out)
+		}
+	}
+}
+
+func TestButterflyPassesMonotoneImprovement(t *testing.T) {
+	// More passes sort a larger fraction of random inputs.
+	n := 16
+	f1 := sortcheck.SortedFraction(n, 500, ButterflyPasses(n, 1), 9, 0)
+	f3 := sortcheck.SortedFraction(n, 500, ButterflyPasses(n, 3), 9, 0)
+	if f3 < f1 {
+		t.Errorf("3 passes (%v) worse than 1 pass (%v)", f3, f1)
+	}
+}
+
+func TestRandomizedButterflyDepthAndShape(t *testing.T) {
+	n := 16
+	r := RandomizedButterfly(n, 2, rand.New(rand.NewSource(4)))
+	if r.Depth() != 3*4 {
+		t.Fatalf("depth = %d, want 12", r.Depth())
+	}
+	if !r.IsShuffleBased() {
+		t.Fatal("not shuffle-based")
+	}
+}
+
+func TestTruncatedBitonicCurve(t *testing.T) {
+	// Sorted fraction grows with depth and reaches 1 at full depth.
+	n := 16
+	d2 := 16 // lg²n
+	var prev float64 = -1
+	for _, steps := range []int{0, 4, 8, 12, 16} {
+		r := TruncatedBitonic(n, steps)
+		f := sortcheck.SortedFraction(n, 400, r, 11, 0)
+		if f+0.15 < prev { // allow Monte-Carlo wobble
+			t.Errorf("sorted fraction dropped sharply at depth %d: %v -> %v", steps, prev, f)
+		}
+		prev = f
+		if steps == d2 && f != 1.0 {
+			t.Errorf("full-depth Stone bitonic fraction = %v", f)
+		}
+	}
+}

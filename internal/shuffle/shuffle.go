@@ -1,0 +1,188 @@
+// Package shuffle builds comparator networks in the paper's central
+// class: register-model networks in which every step's permutation is
+// the perfect shuffle (Π_i = π for all i, Section 1).
+//
+// The key structural fact (Leighton [7, §3.8], used implicitly
+// throughout the paper) is that one "pass" of d = lg n consecutive
+// shuffle steps emulates a butterfly: after c shuffles, the register
+// pair (2m, 2m+1) holds the values of the two conceptual wires whose
+// indices differ exactly in bit d−c. Pass exposes that correspondence;
+// Bitonic stacks d passes into Stone's shuffle-exchange realization of
+// Batcher's bitonic sorter, the Θ(lg²n) upper bound the paper cites.
+package shuffle
+
+import (
+	"fmt"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// OpChooser selects the operation for one comparator position during a
+// shuffle pass. It receives the dimension t being compared at this step
+// (bit index, counting from d−1 down to 0 within a pass) and the
+// conceptual wire index u whose bit t is 0; its partner is u | 1<<t.
+// Returning OpPlus places the smaller value on wire u; OpMinus places
+// the larger value on wire u; OpNone and OpSwap are passed through.
+type OpChooser func(t, u int) network.Op
+
+// Pass appends one full shuffle pass (d = lg n steps, each a shuffle
+// followed by the ops that choose selects) to r. After a complete pass
+// every value is back on its original register (shuffle^d = identity),
+// so passes compose: wire u in one pass is wire u in the next.
+//
+// Step c (1-based) of the pass compares, at register pair (2m, 2m+1),
+// the wires u = rotRight^c(2m) and u | 1<<(d−c).
+func Pass(r *network.Register, choose OpChooser) {
+	n := r.Registers()
+	d := bits.Lg(n)
+	sh := perm.Shuffle(n)
+	for c := 1; c <= d; c++ {
+		t := d - c // dimension compared at this step
+		ops := make([]network.Op, n/2)
+		for m := 0; m < n/2; m++ {
+			// Wire held by register 2m after c shuffles.
+			u := bits.RotLeftBy(2*m, d, -c)
+			v := bits.RotLeftBy(2*m+1, d, -c)
+			if u^v != 1<<uint(t) {
+				panic(fmt.Sprintf("shuffle.Pass: internal: wires %d,%d at step %d do not differ in bit %d", u, v, c, t))
+			}
+			low := u // the wire with bit t == 0
+			if low&(1<<uint(t)) != 0 {
+				low = v
+			}
+			op := choose(t, low)
+			if op == network.OpPlus || op == network.OpMinus {
+				// choose's convention is wire-based: OpPlus means the
+				// smaller value lands on wire low. If low sits at
+				// register 2m+1, the register-level op flips.
+				if low == v {
+					if op == network.OpPlus {
+						op = network.OpMinus
+					} else {
+						op = network.OpPlus
+					}
+				}
+			}
+			ops[m] = op
+		}
+		r.AddStep(network.Step{Pi: sh, Ops: ops})
+	}
+}
+
+// IdentityPass appends d shuffle steps with no operations: a full
+// barrel roll that returns every value to its original register.
+func IdentityPass(r *network.Register) {
+	Pass(r, func(t, u int) network.Op { return network.OpNone })
+}
+
+// Bitonic returns Stone's shuffle-exchange realization of Batcher's
+// bitonic sorting network on n = 2^d registers: d passes of d shuffle
+// steps each (depth d² = lg²n, every step's permutation the perfect
+// shuffle). Pass s (1-based) performs the stage-s bitonic merge on
+// dimensions s−1, ..., 0 during its last s steps; its first d−s steps
+// only shuffle.
+func Bitonic(n int) *network.Register {
+	d := bits.Lg(n)
+	r := network.NewRegister(n)
+	for s := 1; s <= d; s++ {
+		k := 1 << uint(s)
+		pass := s
+		Pass(r, func(t, u int) network.Op {
+			if t >= pass {
+				return network.OpNone // waiting steps of this pass
+			}
+			// Circuit bitonic: comparator between u and u|1<<t is
+			// ascending (min at u) iff u & k == 0.
+			if u&k == 0 {
+				return network.OpPlus
+			}
+			return network.OpMinus
+		})
+	}
+	return r
+}
+
+// Butterfly returns a single ascending shuffle pass with a comparator
+// at every position (all OpPlus): the shuffle-based emulation of one
+// d-level butterfly with all comparators directed toward the
+// higher-indexed wire. This is the canonical depth-lg n reverse delta
+// network in shuffle form.
+func Butterfly(n int) *network.Register {
+	r := network.NewRegister(n)
+	Pass(r, func(t, u int) network.Op { return network.OpPlus })
+	return r
+}
+
+// RoutePermutation returns a shuffle-based register network containing
+// only "0"/"1" (pass/exchange) elements that realizes the permutation
+// target: for every input x, out[target[i]] = x[i].
+//
+// Construction ("routing by sorting", the standard data-independent
+// technique): run Stone's bitonic network on the destination tags
+// offline, record each comparator's exchange decision, and replay the
+// decisions as fixed OpSwap/OpNone elements. The depth is lg²n — not
+// the optimal 3 lg n − 4 of Parker / Linial–Tarsi / Varma–Raghavendra
+// cited by the paper, but exact and sufficient for realizing the
+// arbitrary inter-block permutations the paper's model allows (see
+// DESIGN.md, substitutions).
+func RoutePermutation(target perm.Perm) *network.Register {
+	n := target.Len()
+	target.MustValid()
+	d := bits.Lg(n)
+
+	// Offline simulation state: tags[r] = destination of the value
+	// currently in register r.
+	tags := make([]int, n)
+	copy(tags, target)
+	tmp := make([]int, n)
+	sh := perm.Shuffle(n)
+
+	r := network.NewRegister(n)
+	for s := 1; s <= d; s++ {
+		k := 1 << uint(s)
+		for c := 1; c <= d; c++ {
+			t := d - c
+			sh.RouteInto(tmp, tags)
+			copy(tags, tmp)
+			ops := make([]network.Op, n/2)
+			for m := 0; m < n/2; m++ {
+				if t >= s {
+					continue
+				}
+				u := bits.RotLeftBy(2*m, d, -c)
+				low := u
+				if low&(1<<uint(t)) != 0 {
+					low = u ^ 1<<uint(t)
+				}
+				// Ascending iff low & k == 0; decide on tags, emit swap
+				// decision.
+				a, b := tags[2*m], tags[2*m+1]
+				var wantSwap bool
+				lowAtEven := bits.RotLeftBy(2*m, d, -c) == low
+				asc := low&k == 0
+				// min goes to the register holding wire `low` iff asc.
+				minAtEven := (asc && lowAtEven) || (!asc && !lowAtEven)
+				if minAtEven {
+					wantSwap = a > b
+				} else {
+					wantSwap = a < b
+				}
+				if wantSwap {
+					tags[2*m], tags[2*m+1] = b, a
+					ops[m] = network.OpSwap
+				}
+			}
+			r.AddStep(network.Step{Pi: sh, Ops: ops})
+		}
+	}
+	// After sorting by destination tag, tags[r] == r must hold, and the
+	// replayed swaps route any input identically.
+	for i, v := range tags {
+		if v != i {
+			panic(fmt.Sprintf("shuffle.RoutePermutation: offline sort failed at %d: %v", i, tags))
+		}
+	}
+	return r
+}

@@ -1,0 +1,184 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/sortcheck"
+)
+
+func TestIdentityPassRestoresContents(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 32} {
+		r := network.NewRegister(n)
+		IdentityPass(r)
+		in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
+		out := r.Eval(in)
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("n=%d: identity pass moved data: %v -> %v", n, in, out)
+			}
+		}
+		if r.Depth() != bits.Lg(n) {
+			t.Fatalf("n=%d: pass depth %d", n, r.Depth())
+		}
+	}
+}
+
+func TestPassIsShuffleBased(t *testing.T) {
+	r := Bitonic(16)
+	if !r.IsShuffleBased() {
+		t.Fatal("Stone bitonic is not shuffle-based?!")
+	}
+}
+
+// One all-OpPlus pass = butterfly: its circuit conversion must compare
+// dimensions d-1, ..., 0 in order.
+func TestButterflyPassDimensions(t *testing.T) {
+	n := 16
+	d := bits.Lg(n)
+	r := Butterfly(n)
+	circ, _ := network.FromRegister(r)
+	if circ.Depth() != d {
+		t.Fatalf("depth %d", circ.Depth())
+	}
+	for li, lv := range circ.Levels() {
+		wantDim := d - 1 - li
+		if len(lv) != n/2 {
+			t.Fatalf("level %d has %d comparators", li, len(lv))
+		}
+		for _, cm := range lv {
+			if cm.Min^cm.Max != 1<<uint(wantDim) {
+				t.Fatalf("level %d comparator (%d,%d) not on dimension %d",
+					li, cm.Min, cm.Max, wantDim)
+			}
+			if cm.Min > cm.Max {
+				t.Fatalf("butterfly comparator reversed: (%d,%d)", cm.Min, cm.Max)
+			}
+		}
+	}
+}
+
+func TestStoneBitonicSortsSmall(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		r := Bitonic(n)
+		ok, w := sortcheck.ZeroOne(n, evalSortedness{r}, 0)
+		if !ok {
+			t.Fatalf("Stone bitonic n=%d fails on %v", n, w)
+		}
+	}
+}
+
+func TestStoneBitonicSortsLarge(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		r := Bitonic(n)
+		rng := rand.New(rand.NewSource(3))
+		ok, w := sortcheck.RandomPerms(n, 100, evalSortedness{r}, rng)
+		if !ok {
+			t.Fatalf("Stone bitonic n=%d fails on %v", n, w)
+		}
+	}
+}
+
+func TestStoneBitonicDepth(t *testing.T) {
+	for _, n := range []int{4, 16, 128} {
+		d := bits.Lg(n)
+		r := Bitonic(n)
+		if r.Depth() != d*d {
+			t.Errorf("n=%d: depth %d, want %d", n, r.Depth(), d*d)
+		}
+	}
+}
+
+// The circuit conversion of Stone's network must equal Batcher's
+// bitonic network in comparator count.
+func TestStoneBitonicMatchesCircuitSize(t *testing.T) {
+	n := 32
+	d := bits.Lg(n)
+	r := Bitonic(n)
+	if got, want := r.Size(), n*d*(d+1)/4; got != want {
+		t.Errorf("size = %d, want %d", got, want)
+	}
+}
+
+func TestRoutePermutationIdentity(t *testing.T) {
+	n := 8
+	r := RoutePermutation(perm.Identity(n))
+	in := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	out := r.Eval(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("identity routing moved data: %v", out)
+		}
+	}
+	if r.Size() != 0 {
+		t.Errorf("routing network contains %d comparators; must be comparator-free", r.Size())
+	}
+}
+
+func TestRoutePermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		for trial := 0; trial < 5; trial++ {
+			target := perm.Random(n, rng)
+			r := RoutePermutation(target)
+			if !r.IsShuffleBased() {
+				t.Fatal("routing network not shuffle-based")
+			}
+			in := []int(perm.Random(n, rng))
+			out := r.Eval(in)
+			for i := range in {
+				if out[target[i]] != in[i] {
+					t.Fatalf("n=%d: value %d (reg %d) should be at %d; out=%v",
+						n, in[i], i, target[i], out)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutePermutationSpecific(t *testing.T) {
+	// Bit reversal, a classically hard permutation for single-pass
+	// networks.
+	for _, n := range []int{8, 32} {
+		target := perm.BitReversal(n)
+		r := RoutePermutation(target)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = 100 + i
+		}
+		out := r.Eval(in)
+		for i := range in {
+			if out[target[i]] != in[i] {
+				t.Fatalf("bit-reversal routing failed at %d", i)
+			}
+		}
+	}
+}
+
+func TestRoutePermutationDataIndependent(t *testing.T) {
+	// The same network must route every input the same way (it contains
+	// no comparators, only fixed swaps).
+	n := 16
+	rng := rand.New(rand.NewSource(23))
+	target := perm.Random(n, rng)
+	r := RoutePermutation(target)
+	for trial := 0; trial < 10; trial++ {
+		in := []int(perm.Random(n, rng))
+		out := r.Eval(in)
+		for i := range in {
+			if out[target[i]] != in[i] {
+				t.Fatal("routing depends on data")
+			}
+		}
+	}
+}
+
+// evalSortedness adapts a register network for sortcheck: sortedness of
+// the register contents in register order is the right criterion for
+// Stone's bitonic network, which sorts into register order.
+type evalSortedness struct{ r *network.Register }
+
+func (e evalSortedness) Eval(in []int) []int { return e.r.Eval(in) }

@@ -1,0 +1,176 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// UnshufflePass appends one full unshuffle pass (d = lg n steps, each
+// an unshuffle followed by chosen ops) to r. After c unshuffles,
+// register x holds the wire rotLeft^c(x), so the register pair
+// (2m, 2m+1) holds wires differing in bit (c mod d): an unshuffle pass
+// visits the dimensions 1, 2, ..., d−1, 0 — the mirror complement of
+// the shuffle pass's d−1, ..., 1, 0. Machines allowed both passes are
+// the paper's "ascend-descend" class (Section 1), for which the lower
+// bound provably does not hold.
+func UnshufflePass(r *network.Register, choose OpChooser) {
+	n := r.Registers()
+	d := bits.Lg(n)
+	unsh := perm.Unshuffle(n)
+	for c := 1; c <= d; c++ {
+		t := c % d // dimension compared at this step
+		ops := make([]network.Op, n/2)
+		for m := 0; m < n/2; m++ {
+			u := bits.RotLeftBy(2*m, d, c)
+			v := bits.RotLeftBy(2*m+1, d, c)
+			if u^v != 1<<uint(t) {
+				panic(fmt.Sprintf("shuffle.UnshufflePass: internal: wires %d,%d at step %d do not differ in bit %d", u, v, c, t))
+			}
+			low := u
+			if low&(1<<uint(t)) != 0 {
+				low = v
+			}
+			op := choose(t, low)
+			if op == network.OpPlus || op == network.OpMinus {
+				if low == v {
+					if op == network.OpPlus {
+						op = network.OpMinus
+					} else {
+						op = network.OpPlus
+					}
+				}
+			}
+			ops[m] = op
+		}
+		r.AddStep(network.Step{Pi: unsh, Ops: ops})
+	}
+}
+
+// RouteShuffleUnshuffle returns a register network of exactly one
+// shuffle pass followed by one unshuffle pass (2 lg n steps, no
+// comparators) that realizes the permutation target:
+// out[target[i]] = in[i] for every input.
+//
+// The two passes visit the dimension sequence
+//
+//	d−1, ..., 1, 0, 1, ..., d−1, (0)
+//
+// whose first 2d−1 stages form a Beneš network with the outermost
+// column on dimension d−1; the trailing dimension-0 stage is left as
+// all-pass. Switch settings come from the looping algorithm run on
+// that MSB-outermost recursion.
+//
+// Contrast with RoutePermutation (strict shuffle machine, lg²n steps):
+// allowing the unshuffle turns routing from a sorting-depth problem
+// into a 2-pass one — the constructive face of the ascend vs.
+// ascend-descend separation the paper's introduction draws.
+func RouteShuffleUnshuffle(target perm.Perm) *network.Register {
+	n := target.Len()
+	d := bits.Lg(n)
+	target.MustValid()
+
+	// swaps[s] holds, for stage s in [1, 2d-1], the set of pairs to
+	// exchange, keyed by the pair's wire with the stage dimension bit 0.
+	swaps := make([]map[int]bool, 2*d)
+	for s := range swaps {
+		swaps[s] = map[int]bool{}
+	}
+	solveMSB(target, d, 0, 0, swaps)
+
+	r := network.NewRegister(n)
+	// Shuffle pass: step c handles dimension d−c, i.e. stage c.
+	Pass(r, func(t, u int) network.Op {
+		if swaps[d-t][u] {
+			return network.OpSwap
+		}
+		return network.OpNone
+	})
+	// Unshuffle pass: step c < d handles dimension c, i.e. stage d + c;
+	// the final step (dimension 0 again) is all-pass.
+	UnshufflePass(r, func(t, u int) network.Op {
+		if t == 0 {
+			return network.OpNone // trailing redundant stage
+		}
+		if swaps[d+t][u] {
+			return network.OpSwap
+		}
+		return network.OpNone
+	})
+
+	// Self-check: replay.
+	probe := make([]int, n)
+	for i := range probe {
+		probe[i] = i
+	}
+	out := r.Eval(probe)
+	for i := range probe {
+		if out[target[i]] != i {
+			panic(fmt.Sprintf("shuffle.RouteShuffleUnshuffle: internal: settings do not realize %v", target))
+		}
+	}
+	return r
+}
+
+// solveMSB runs the looping algorithm on the MSB-outermost Beneš
+// recursion: the subproblem covers the 2^k wires {high<<k | x}, its
+// outer columns are stage `depth+1` (input side) and `2d-1-depth`
+// (output side) on dimension k−1, and its two sub-problems are the
+// halves with bit k−1 fixed. target is local (length 2^k).
+func solveMSB(target perm.Perm, d, depth, high int, swaps []map[int]bool) {
+	k := d - depth
+	m := 1 << uint(k)
+	if m == 2 {
+		// Middle column, stage d, dimension 0.
+		if target[0] == 1 {
+			swaps[d][high<<1] = true
+		}
+		return
+	}
+	h := m / 2
+	inv := target.Inverse()
+
+	// side[x] = half occupied by the value entering local wire x during
+	// the inner stages. Partner constraints as in package benes, with
+	// the pairing x ↔ x^h.
+	side := make([]int, m)
+	for i := range side {
+		side[i] = -1
+	}
+	for start := 0; start < m; start++ {
+		if side[start] != -1 {
+			continue
+		}
+		for x := start; side[x] == -1; x = inv[target[x^h]^h] {
+			side[x] = 0
+			side[x^h] = 1
+		}
+	}
+
+	inStage, outStage := depth+1, 2*d-1-depth
+	sub := [2]perm.Perm{make(perm.Perm, h), make(perm.Perm, h)}
+	for x := 0; x < m; x++ {
+		s := side[x]
+		// Input column: pair (x mod h, x mod h + h); value at x must
+		// move to half s.
+		if x < h && s == 1 || x >= h && s == 0 {
+			swaps[inStage][high<<uint(k)|(x%h)] = true
+		}
+		// Sub-target: within half s, position x%h must reach
+		// target[x]%h.
+		sub[s][x%h] = target[x] % h
+		// Output column: the value for output y sits at half s
+		// position y%h; swap if bit k-1 of y differs from s.
+		y := target[x]
+		if (y >= h) != (s == 1) {
+			swaps[outStage][high<<uint(k)|(y%h)] = true
+		}
+	}
+	// Both members of a crossing pair mark the same map key (partners
+	// have opposite sides, so they cross together); the map makes the
+	// double mark idempotent.
+	solveMSB(sub[0], d, depth+1, high<<1, swaps)
+	solveMSB(sub[1], d, depth+1, high<<1|1, swaps)
+}

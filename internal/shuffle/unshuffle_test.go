@@ -1,0 +1,172 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+func TestUnshufflePassIdentity(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		r := network.NewRegister(n)
+		UnshufflePass(r, func(t, u int) network.Op { return network.OpNone })
+		in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
+		out := r.Eval(in)
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("n=%d: empty unshuffle pass moved data", n)
+			}
+		}
+	}
+}
+
+func TestUnshufflePassDimensions(t *testing.T) {
+	// An all-OpPlus unshuffle pass must compare dimensions 1, ..., d-1, 0.
+	n := 16
+	d := bits.Lg(n)
+	r := network.NewRegister(n)
+	UnshufflePass(r, func(t, u int) network.Op { return network.OpPlus })
+	circ, _ := network.FromRegister(r)
+	want := []int{1, 2, 3, 0}
+	for li, lv := range circ.Levels() {
+		for _, cm := range lv {
+			if cm.Min^cm.Max != 1<<uint(want[li]) {
+				t.Fatalf("level %d comparator (%d,%d): want dimension %d", li, cm.Min, cm.Max, want[li])
+			}
+		}
+	}
+	_ = d
+}
+
+func TestUnshufflePassDirections(t *testing.T) {
+	// OpPlus must put the min on the wire with the dimension bit 0,
+	// matching Pass's convention.
+	n := 8
+	r := network.NewRegister(n)
+	UnshufflePass(r, func(t, u int) network.Op { return network.OpPlus })
+	circ, _ := network.FromRegister(r)
+	for _, lv := range circ.Levels() {
+		for _, cm := range lv {
+			if cm.Min > cm.Max {
+				t.Fatalf("comparator (%d,%d): min wire above max", cm.Min, cm.Max)
+			}
+		}
+	}
+}
+
+func TestRouteShuffleUnshuffleIdentity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 32} {
+		r := RouteShuffleUnshuffle(perm.Identity(n))
+		in := make([]int, n)
+		for i := range in {
+			in[i] = 50 + i
+		}
+		out := r.Eval(in)
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("n=%d: identity route moved data: %v", n, out)
+			}
+		}
+		if r.Size() != 0 {
+			t.Fatalf("route contains comparators")
+		}
+		if r.Depth() != 2*bits.Lg(n) {
+			t.Fatalf("n=%d: depth %d, want 2 lg n = %d", n, r.Depth(), 2*bits.Lg(n))
+		}
+	}
+}
+
+func TestRouteShuffleUnshuffleAllPermsN4(t *testing.T) {
+	var rec func(p []int, used []bool)
+	rec = func(p []int, used []bool) {
+		if len(p) == 4 {
+			checkRoute2(t, perm.Perm(append([]int(nil), p...)))
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(p, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, 4))
+}
+
+func TestRouteShuffleUnshuffleAllPermsN8(t *testing.T) {
+	var rec func(p []int, used []bool)
+	count := 0
+	rec = func(p []int, used []bool) {
+		if len(p) == 8 {
+			checkRoute2(t, perm.Perm(append([]int(nil), p...)))
+			count++
+			return
+		}
+		for v := 0; v < 8; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(p, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, 8))
+	if count != 40320 {
+		t.Fatalf("enumerated %d permutations", count)
+	}
+}
+
+func TestRouteShuffleUnshuffleRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 64, 256, 1024} {
+		for trial := 0; trial < 5; trial++ {
+			checkRoute2(t, perm.Random(n, rng))
+		}
+	}
+}
+
+func TestRouteShuffleUnshuffleNamed(t *testing.T) {
+	for _, n := range []int{8, 64} {
+		checkRoute2(t, perm.BitReversal(n))
+		checkRoute2(t, perm.Shuffle(n))
+		checkRoute2(t, perm.Unshuffle(n))
+	}
+}
+
+// The step permutations must literally be one shuffle pass then one
+// unshuffle pass.
+func TestRouteShuffleUnshuffleIsTwoPasses(t *testing.T) {
+	n := 16
+	d := bits.Lg(n)
+	r := RouteShuffleUnshuffle(perm.BitReversal(n))
+	sh, unsh := perm.Shuffle(n), perm.Unshuffle(n)
+	for i, st := range r.Steps() {
+		want := sh
+		if i >= d {
+			want = unsh
+		}
+		if st.Pi == nil || !st.Pi.Equal(want) {
+			t.Fatalf("step %d: wrong permutation", i)
+		}
+	}
+}
+
+func checkRoute2(t *testing.T, target perm.Perm) {
+	t.Helper()
+	n := target.Len()
+	r := RouteShuffleUnshuffle(target)
+	in := make([]int, n)
+	for i := range in {
+		in[i] = 1000 + i
+	}
+	out := r.Eval(in)
+	for i := range in {
+		if out[target[i]] != in[i] {
+			t.Fatalf("n=%d: misrouted %v (input %d should reach %d): %v", n, target, i, target[i], out)
+		}
+	}
+}

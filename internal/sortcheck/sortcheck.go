@@ -1,0 +1,285 @@
+// Package sortcheck decides whether comparator networks sort, and
+// quantifies how badly they fail when they do not.
+//
+// The main tool is the 0-1 principle (invoked in Section 5 of the
+// paper): a comparator network on n wires sorts all inputs iff it sorts
+// all 2^n inputs from {0,1}^n. ZeroOne runs that check exhaustively and
+// in parallel, returning a witness on failure. Exhaustive and
+// RandomPerms check permutation inputs directly. The metrics
+// (Inversions, MaxDislocation) grade partially sorted outputs for the
+// average-case experiments.
+package sortcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"shufflenet/internal/par"
+)
+
+// Evaluator is the view of a comparator network this package needs:
+// a pure input-to-output mapping on vectors of a fixed width. Both
+// *network.Network and *network.Register satisfy it.
+type Evaluator interface {
+	Eval(input []int) []int
+}
+
+// MaxZeroOneWires bounds the width accepted by ZeroOne: 2^n inputs must
+// be enumerable in reasonable time.
+const MaxZeroOneWires = 30
+
+// IsSorted reports whether xs is nondecreasing.
+func IsSorted(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ZeroOneInput expands the low n bits of mask into a 0-1 vector, with
+// bit i of mask becoming entry i.
+func ZeroOneInput(mask uint64, n int) []int {
+	in := make([]int, n)
+	for i := 0; i < n; i++ {
+		in[i] = int((mask >> uint(i)) & 1)
+	}
+	return in
+}
+
+// ZeroOne applies the 0-1 principle: it evaluates the network on all
+// 2^n inputs from {0,1}^n (in parallel across workers; 0 = GOMAXPROCS)
+// and returns ok = true if every output is sorted. On failure, witness
+// is the smallest-mask failing 0-1 input. n must be at most
+// MaxZeroOneWires.
+func ZeroOne(n int, ev Evaluator, workers int) (ok bool, witness []int) {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
+	}
+	total := 1 << uint(n)
+	bad := par.Find(total, workers, func(mask int) bool {
+		return !IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n)))
+	})
+	if bad < 0 {
+		return true, nil
+	}
+	return false, ZeroOneInput(uint64(bad), n)
+}
+
+// ZeroOneFraction returns the fraction of the 2^n 0-1 inputs that the
+// network sorts, evaluated exhaustively in parallel. n must be at most
+// MaxZeroOneWires.
+func ZeroOneFraction(n int, ev Evaluator, workers int) float64 {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck.ZeroOneFraction: n = %d exceeds %d", n, MaxZeroOneWires))
+	}
+	total := 1 << uint(n)
+	good := par.SumInt64(total, workers, func(mask int) int64 {
+		if IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n))) {
+			return 1
+		}
+		return 0
+	})
+	return float64(good) / float64(total)
+}
+
+// MaxExhaustiveWires bounds Exhaustive: n! permutations must be
+// enumerable.
+const MaxExhaustiveWires = 9
+
+// Exhaustive evaluates the network on all n! permutations of
+// {0,...,n-1} and returns ok = true if every output is sorted; on
+// failure, witness is a failing permutation. n must be at most
+// MaxExhaustiveWires.
+func Exhaustive(n int, ev Evaluator) (ok bool, witness []int) {
+	if n > MaxExhaustiveWires {
+		panic(fmt.Sprintf("sortcheck.Exhaustive: n = %d exceeds %d (n! inputs)", n, MaxExhaustiveWires))
+	}
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	witness = nil
+	permute(data, func(p []int) bool {
+		if !IsSorted(ev.Eval(p)) {
+			witness = append([]int(nil), p...)
+			return false
+		}
+		return true
+	})
+	return witness == nil, witness
+}
+
+// RandomPerms evaluates the network on trials uniformly random
+// permutations drawn from rng and returns ok = true if all outputs are
+// sorted; on failure, witness is the first failing permutation found.
+func RandomPerms(n, trials int, ev Evaluator, rng *rand.Rand) (ok bool, witness []int) {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	for t := 0; t < trials; t++ {
+		shuffleInts(in, rng)
+		if !IsSorted(ev.Eval(in)) {
+			return false, append([]int(nil), in...)
+		}
+	}
+	return true, nil
+}
+
+// SortedFraction estimates, by Monte Carlo over trials random
+// permutations, the probability that the network sorts a uniformly
+// random input. Deterministic given seed; trials are split across
+// workers (0 = GOMAXPROCS), each with an independent stream derived
+// from seed.
+func SortedFraction(n, trials int, ev Evaluator, seed int64, workers int) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	w := par.Workers(trials, workers)
+	good := make([]int64, w)
+	counts := make([]int, w)
+	for i := 0; i < trials; i++ {
+		counts[i%w]++
+	}
+	done := make(chan struct{})
+	for slot := 0; slot < w; slot++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed + int64(slot)*1_000_003))
+			in := make([]int, n)
+			for i := range in {
+				in[i] = i
+			}
+			var g int64
+			for t := 0; t < counts[slot]; t++ {
+				shuffleInts(in, rng)
+				if IsSorted(ev.Eval(in)) {
+					g++
+				}
+			}
+			good[slot] = g
+		}(slot)
+	}
+	for slot := 0; slot < w; slot++ {
+		<-done
+	}
+	var total int64
+	for _, g := range good {
+		total += g
+	}
+	return float64(total) / float64(trials)
+}
+
+// Inversions returns the number of inverted pairs (i < j with
+// xs[i] > xs[j]) via merge counting in O(n log n).
+func Inversions(xs []int) int64 {
+	buf := make([]int, len(xs))
+	work := append([]int(nil), xs...)
+	return mergeCount(work, buf)
+}
+
+// MaxDislocation returns the maximum distance between any element's
+// position and the position it would occupy in sorted order (ties
+// resolved by original position, i.e. stable ranking). A sorted slice
+// has dislocation 0.
+func MaxDislocation(xs []int) int {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable sort indices by value; ties keep original position order.
+	sort.SliceStable(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	maxd := 0
+	for rank, pos := range idx {
+		d := pos - rank
+		if d < 0 {
+			d = -d
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// UnsortedZeroOneWitnesses returns up to limit 0-1 inputs (as masks)
+// that the network fails to sort, scanning masks in increasing order.
+func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck: n = %d exceeds %d", n, MaxZeroOneWires))
+	}
+	var out []uint64
+	total := uint64(1) << uint(n)
+	for mask := uint64(0); mask < total && len(out) < limit; mask++ {
+		if !IsSorted(ev.Eval(ZeroOneInput(mask, n))) {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+func mergeCount(xs, buf []int) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(xs[:mid], buf[:mid]) + mergeCount(xs[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if xs[i] <= xs[j] {
+			buf[k] = xs[i]
+			i++
+		} else {
+			buf[k] = xs[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = xs[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = xs[j]
+		j++
+		k++
+	}
+	copy(xs, buf[:n])
+	return inv
+}
+
+// permute invokes f on each permutation of data until f returns false.
+func permute(data []int, f func([]int) bool) bool {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return f(data)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if k%2 == 0 {
+				data[i], data[k-1] = data[k-1], data[i]
+			} else {
+				data[0], data[k-1] = data[k-1], data[0]
+			}
+		}
+		return true
+	}
+	return rec(len(data))
+}
+
+func shuffleInts(xs []int, rng *rand.Rand) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

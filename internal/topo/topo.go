@@ -1,0 +1,229 @@
+// Package topo models the hypercubic interconnection graphs the paper
+// names in Section 1 — the hypercube, butterfly, cube-connected cycles,
+// and shuffle-exchange — as explicit undirected graphs, and checks that
+// register-model programs actually "run on" them: every data movement
+// of a shuffle-based network traverses a shuffle-exchange edge.
+//
+// The graphs are small-scale executable definitions (adjacency, degree,
+// diameter by BFS), used by tests and the documentation; they are what
+// the machine simulator (internal/machine) abstracts away.
+package topo
+
+import (
+	"fmt"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+)
+
+// Graph is a simple undirected graph on nodes 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]int
+	set []map[int]bool
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	if n < 1 {
+		panic("topo.NewGraph: n < 1")
+	}
+	return &Graph{n: n, adj: make([][]int, n), set: make([]map[int]bool, n)}
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}; duplicates and self-loops
+// are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("topo.AddEdge: edge (%d,%d) out of range", u, v))
+	}
+	if g.set[u] == nil {
+		g.set[u] = map[int]bool{}
+	}
+	if g.set[v] == nil {
+		g.set[v] = map[int]bool{}
+	}
+	if g.set[u][v] {
+		return
+	}
+	g.set[u][v], g.set[v][u] = true, true
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.set[u] != nil && g.set[u][v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	return g.bfsEcc(0, nil) >= 0
+}
+
+// Diameter returns the graph diameter (max over all-pairs shortest
+// paths), or -1 if disconnected. O(n·m) BFS; intended for small graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	dist := make([]int, g.n)
+	for s := 0; s < g.n; s++ {
+		ecc := g.bfsEcc(s, dist)
+		if ecc < 0 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// bfsEcc returns the eccentricity of s, or -1 if some node is
+// unreachable. dist may be nil (scratch is allocated).
+func (g *Graph) bfsEcc(s int, dist []int) int {
+	if dist == nil {
+		dist = make([]int, g.n)
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	ecc := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if dist[w] > ecc {
+					ecc = dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	for _, dv := range dist {
+		if dv < 0 {
+			return -1
+		}
+	}
+	return ecc
+}
+
+// Hypercube returns the d-dimensional hypercube: 2^d nodes, an edge per
+// differing bit. Diameter d, degree d.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			g.AddEdge(v, v^(1<<uint(b)))
+		}
+	}
+	return g
+}
+
+// ShuffleExchange returns the d-dimensional shuffle-exchange graph:
+// 2^d nodes, exchange edges {x, x^1} and shuffle edges
+// {x, rotLeft(x)}. The machine the paper's network class runs on.
+func ShuffleExchange(d int) *Graph {
+	n := 1 << uint(d)
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, v^1)
+		g.AddEdge(v, bits.RotLeft(v, d))
+	}
+	return g
+}
+
+// Butterfly returns the d-dimensional butterfly graph: (d+1)·2^d nodes
+// ⟨level, row⟩ with straight and cross edges between consecutive
+// levels. Node index = level·2^d + row.
+func Butterfly(d int) *Graph {
+	rows := 1 << uint(d)
+	g := NewGraph((d + 1) * rows)
+	id := func(level, row int) int { return level*rows + row }
+	for level := 0; level < d; level++ {
+		for row := 0; row < rows; row++ {
+			g.AddEdge(id(level, row), id(level+1, row))
+			g.AddEdge(id(level, row), id(level+1, row^(1<<uint(level))))
+		}
+	}
+	return g
+}
+
+// CCC returns the d-dimensional cube-connected cycles graph: d·2^d
+// nodes ⟨cycle position i, hypercube corner x⟩; cycle edges around each
+// corner and a dimension-i edge to the neighboring corner. Node index =
+// x·d + i. Constant degree 3 (for d >= 3).
+func CCC(d int) *Graph {
+	n := d * (1 << uint(d))
+	g := NewGraph(n)
+	id := func(x, i int) int { return x*d + i }
+	for x := 0; x < 1<<uint(d); x++ {
+		for i := 0; i < d; i++ {
+			g.AddEdge(id(x, i), id(x, (i+1)%d))
+			g.AddEdge(id(x, i), id(x^(1<<uint(i)), i))
+		}
+	}
+	return g
+}
+
+// ConformsToShuffleExchange reports whether every data movement of the
+// register network uses only shuffle-exchange edges: each step's
+// permutation must be the identity or the perfect shuffle (data moves
+// along shuffle edges), and each pair operation acts on registers
+// (2k, 2k+1), which are exchange-edge neighbors. This is the literal
+// sense in which a "network based on the shuffle permutation" runs on
+// the shuffle-exchange machine.
+func ConformsToShuffleExchange(r *network.Register) bool {
+	n := r.Registers()
+	if !bits.IsPow2(n) {
+		return false
+	}
+	sh := perm.Shuffle(n)
+	se := ShuffleExchange(bits.Lg(n))
+	for _, st := range r.Steps() {
+		if st.Pi != nil && !st.Pi.IsIdentity() && !st.Pi.Equal(sh) {
+			return false
+		}
+		for k, op := range st.Ops {
+			if op == network.OpNone {
+				continue
+			}
+			if !se.HasEdge(2*k, 2*k+1) {
+				return false // cannot happen: (2k,2k+1) is an exchange edge
+			}
+		}
+	}
+	return true
+}

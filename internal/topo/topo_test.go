@@ -1,0 +1,147 @@
+package topo
+
+import (
+	"testing"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/perm"
+	"shufflenet/internal/randnet"
+	"shufflenet/internal/shuffle"
+)
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		g := Hypercube(d)
+		if g.Nodes() != 1<<uint(d) {
+			t.Fatalf("d=%d: %d nodes", d, g.Nodes())
+		}
+		if g.Edges() != d*(1<<uint(d))/2 {
+			t.Fatalf("d=%d: %d edges", d, g.Edges())
+		}
+		if g.MaxDegree() != d {
+			t.Fatalf("d=%d: max degree %d", d, g.MaxDegree())
+		}
+		if !g.Connected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+		if d <= 7 {
+			if diam := g.Diameter(); diam != d {
+				t.Fatalf("d=%d: diameter %d, want %d", d, diam, d)
+			}
+		}
+	}
+}
+
+func TestShuffleExchange(t *testing.T) {
+	// Known small diameters (computed, then frozen as regressions):
+	// the SE graph has diameter ~2d-1.
+	wantDiam := map[int]int{2: 3, 3: 5, 4: 7, 5: 9}
+	for d := 2; d <= 5; d++ {
+		g := ShuffleExchange(d)
+		if g.Nodes() != 1<<uint(d) {
+			t.Fatalf("d=%d: nodes", d)
+		}
+		if !g.Connected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+		// Degree at most 3: exchange + shuffle in + shuffle out.
+		if g.MaxDegree() > 3 {
+			t.Fatalf("d=%d: max degree %d > 3", d, g.MaxDegree())
+		}
+		if diam := g.Diameter(); diam != wantDiam[d] {
+			t.Fatalf("d=%d: diameter %d, want %d (2d-1)", d, diam, wantDiam[d])
+		}
+	}
+}
+
+func TestButterflyGraph(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g := Butterfly(d)
+		if g.Nodes() != (d+1)*(1<<uint(d)) {
+			t.Fatalf("d=%d: nodes", d)
+		}
+		if g.Edges() != d*(1<<uint(d))*2 {
+			t.Fatalf("d=%d: %d edges", d, g.Edges())
+		}
+		if !g.Connected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+		if g.MaxDegree() > 4 {
+			t.Fatalf("d=%d: degree %d > 4", d, g.MaxDegree())
+		}
+		// Diameter of the d-dimensional butterfly is 2d.
+		if diam := g.Diameter(); diam != 2*d {
+			t.Fatalf("d=%d: diameter %d, want %d", d, diam, 2*d)
+		}
+	}
+}
+
+func TestCCC(t *testing.T) {
+	for d := 3; d <= 5; d++ {
+		g := CCC(d)
+		if g.Nodes() != d*(1<<uint(d)) {
+			t.Fatalf("d=%d: nodes", d)
+		}
+		if !g.Connected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+		// The defining property: constant degree 3.
+		if g.MaxDegree() != 3 {
+			t.Fatalf("d=%d: max degree %d, want 3", d, g.MaxDegree())
+		}
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(1, 1) // self loop ignored
+	if g.Edges() != 1 || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("basic edge bookkeeping wrong")
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge did not panic")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+// The paper's class, literally: every shuffle-based register network's
+// data movements stay on shuffle-exchange edges.
+func TestConformsToShuffleExchange(t *testing.T) {
+	for _, n := range []int{8, 16, 64} {
+		if !ConformsToShuffleExchange(shuffle.Bitonic(n)) {
+			t.Fatalf("n=%d: Stone bitonic does not conform?!", n)
+		}
+		if !ConformsToShuffleExchange(randnet.TruncatedBitonic(n, 5)) {
+			t.Fatalf("n=%d: truncated bitonic does not conform", n)
+		}
+	}
+	// A network using an arbitrary permutation does NOT conform.
+	r := network.NewRegister(8)
+	r.AddStep(network.Step{Pi: perm.BitReversal(8), Ops: make([]network.Op, 4)})
+	if ConformsToShuffleExchange(r) {
+		t.Fatal("bit-reversal step accepted as shuffle-exchange-conforming")
+	}
+	// Unshuffle steps also leave the strict class (they are the
+	// ascend-descend machine's extra edges).
+	r2 := network.NewRegister(8)
+	shuffle.UnshufflePass(r2, func(t, u int) network.Op { return network.OpPlus })
+	if ConformsToShuffleExchange(r2) {
+		t.Fatal("unshuffle pass accepted as strict-shuffle-conforming")
+	}
+	// Identity steps are fine.
+	r3 := network.NewRegister(8)
+	r3.AddStep(network.Step{Ops: []network.Op{network.OpPlus, 0, 0, 0}})
+	if !ConformsToShuffleExchange(r3) {
+		t.Fatal("identity-permutation step rejected")
+	}
+}

@@ -1,0 +1,53 @@
+package shufflenet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"shufflenet"
+)
+
+// The façade test doubles as the README quickstart: everything a
+// library user touches goes through the root package.
+func TestFacadeQuickstart(t *testing.T) {
+	const n = 16
+
+	c := shufflenet.Bitonic(n)
+	if ok, w := shufflenet.IsSortingNetwork(c); !ok {
+		t.Fatalf("bitonic rejected, witness %v", w)
+	}
+
+	r := shufflenet.ShuffleBitonic(n)
+	if !r.IsShuffleBased() || r.Depth() != 16 {
+		t.Fatalf("shuffle bitonic malformed: %v", r)
+	}
+
+	it := shufflenet.NewIteratedRDN(64)
+	it.AddBlock(nil, shufflenet.Butterfly(6))
+	it.AddBlock(shufflenet.Shuffle(64), shufflenet.Butterfly(6))
+	an := shufflenet.Adversary(it)
+	cert, err := shufflenet.ExtractCertificate(an)
+	if err != nil {
+		t.Fatalf("no certificate from a 12-level network on 64 wires: %v", err)
+	}
+	circ, _ := it.ToNetwork()
+	if err := cert.Verify(circ); err != nil {
+		t.Fatalf("certificate verification failed: %v", err)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if shufflenet.NewNetwork(4).Wires() != 4 {
+		t.Error("NewNetwork")
+	}
+	if shufflenet.OddEvenMergeSort(8).Depth() != 6 {
+		t.Error("OddEvenMergeSort depth")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if shufflenet.RandomRDN(3, 1.0, rng).Inputs() != 8 {
+		t.Error("RandomRDN")
+	}
+	if len(shufflenet.Shuffle(8)) != 8 {
+		t.Error("Shuffle")
+	}
+}
