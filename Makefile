@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test check vet race bench fuzz experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# check is the full gate: static analysis, the race detector in short
+# mode, and the tier-1 build+test pass.
+check: vet race build test
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Short fuzz pass over the parsers and the compiled-kernel round trip.
+fuzz:
+	$(GO) test ./internal/network/ -run FuzzCompileEval -fuzz FuzzCompileEval -fuzztime 20s
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -30,16 +30,30 @@ import (
 	"shufflenet/internal/sortcheck"
 )
 
-// BenchmarkE1BitonicSort measures Stone's shuffle-based bitonic sorter
-// (build + evaluate) at n = 1024 — the E1 upper-bound workload.
+// BenchmarkE1BitonicSort measures Stone's shuffle-based bitonic sorter:
+// the evaluation leg at n = 1024 and the verification leg (exhaustive
+// 0-1 principle, what E1 runs for n <= 16) on the bit-sliced kernel.
 func BenchmarkE1BitonicSort(b *testing.B) {
-	const n = 1024
-	r := shuffle.Bitonic(n)
-	in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Eval(in)
-	}
+	b.Run("eval/n=1024", func(b *testing.B) {
+		const n = 1024
+		r := shuffle.Bitonic(n)
+		in := []int(perm.Random(n, rand.New(rand.NewSource(1))))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Eval(in)
+		}
+	})
+	b.Run("verify01/n=16", func(b *testing.B) {
+		const n = 16
+		r := shuffle.Bitonic(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, _ := sortcheck.ZeroOne(n, r, 0); !ok {
+				b.Fatal("bitonic does not sort")
+			}
+		}
+		reportInputsPerSec(b, 1<<n)
+	})
 }
 
 // BenchmarkE2LemmaSurvival measures one constructive Lemma 4.1 pass
@@ -302,13 +316,65 @@ func BenchmarkBenesRouting(b *testing.B) {
 	}
 }
 
-// BenchmarkHalverEpsilon measures exact ε computation (2^16 inputs).
+// BenchmarkHalverEpsilon measures exact ε computation (2^16 inputs):
+// the bit-sliced kernel vs. the retained scalar oracle.
 func BenchmarkHalverEpsilon(b *testing.B) {
 	c := halver.CrossMatchings(16, 4, rand.New(rand.NewSource(10)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		halver.Epsilon(c, 0)
-	}
+	b.Run("bits", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			halver.Epsilon(c, 0)
+		}
+		reportInputsPerSec(b, 1<<16)
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			halver.EpsilonScalar(c, 0)
+		}
+		reportInputsPerSec(b, 1<<16)
+	})
+}
+
+// BenchmarkZeroOneScalarVsBits measures exhaustive 0-1 verification of
+// Batcher's bitonic sorter at n = 16 (2^16 inputs per op) on the
+// bit-sliced kernel vs. the scalar oracle — the acceptance benchmark
+// for the SWAR evaluation engine (EXPERIMENTS.md records the ratio).
+func BenchmarkZeroOneScalarVsBits(b *testing.B) {
+	const n = 16
+	c := netbuild.Bitonic(n)
+	b.Run("bits", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := sortcheck.ZeroOne(n, c, 0); !ok {
+				b.Fatal("bitonic does not sort")
+			}
+		}
+		reportInputsPerSec(b, 1<<n)
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := sortcheck.ZeroOneScalar(n, c, 0); !ok {
+				b.Fatal("bitonic does not sort")
+			}
+		}
+		reportInputsPerSec(b, 1<<n)
+	})
+	b.Run("fraction-bits", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortcheck.ZeroOneFraction(n, c, 0)
+		}
+		reportInputsPerSec(b, 1<<n)
+	})
+	b.Run("fraction-scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortcheck.ZeroOneFractionScalar(n, c, 0)
+		}
+		reportInputsPerSec(b, 1<<n)
+	})
+}
+
+// reportInputsPerSec reports exhaustive-checking throughput in 0-1
+// inputs (masks) per second.
+func reportInputsPerSec(b *testing.B, inputsPerOp int) {
+	b.ReportMetric(float64(inputsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
 }
 
 func itoa(n int) string {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"shufflenet/internal/network"
-	"shufflenet/internal/sortcheck"
 )
 
 // ZeroOneWitness converts the certificate into a failing 0-1 input via
@@ -22,8 +21,12 @@ func (c *Certificate) ZeroOneWitness(circuit *network.Network) ([]int, error) {
 	if err := c.Verify(circuit); err != nil {
 		return nil, fmt.Errorf("certificate invalid: %w", err)
 	}
+	// The verification evaluations run on the compiled program: scalar
+	// for the permutation inputs, bit-sliced (broadcast lanes) for the
+	// 0-1 witness check, with no per-level dispatch either way.
+	prog := network.Compile(circuit)
 	for _, pi := range [][]int{c.Pi, c.PiPrime} {
-		out := circuit.Eval(pi)
+		out := prog.Eval(pi)
 		// Find an inversion out[i] > out[j], i < j (adjacent suffices:
 		// unsorted means some adjacent rail pair is inverted).
 		thr := -1
@@ -42,7 +45,7 @@ func (c *Certificate) ZeroOneWitness(circuit *network.Network) ([]int, error) {
 				witness[w] = 1
 			}
 		}
-		if sortcheck.IsSorted(circuit.Eval(witness)) {
+		if prog.SortsZeroOneInput(witness) {
 			return nil, errors.New("core: threshold witness unexpectedly sorted (monotonicity violated?)")
 		}
 		return witness, nil

@@ -140,6 +140,42 @@ func TestGuards(t *testing.T) {
 		f()
 	}
 	mustPanic("odd n", func() { CrossMatchings(7, 1, rand.New(rand.NewSource(1))) })
-	mustPanic("Epsilon too wide", func() { Epsilon(network.New(26), 0) })
+	mustPanic("Epsilon too wide", func() { Epsilon(network.New(MaxEpsilonWires+2), 0) })
+	mustPanic("EpsilonScalar too wide", func() { EpsilonScalar(network.New(MaxEpsilonWires+2), 0) })
+	mustPanic("Epsilon odd width", func() { Epsilon(network.New(9), 0) })
 	mustPanic("Cascade non-pow2", func() { Cascade(12, 1, rand.New(rand.NewSource(1))) })
+}
+
+// TestEpsilonBitsMatchesScalar: the bit-sliced Epsilon and the scalar
+// oracle must agree exactly (identical float divisions, max over the
+// same set) across random cross-matchings, cascades, and degenerate
+// networks.
+func TestEpsilonBitsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 6, 8, 12, 16} {
+		for passes := 0; passes <= 4; passes++ {
+			c := CrossMatchings(n, passes, rng)
+			got := Epsilon(c, 0)
+			want := EpsilonScalar(c, 0)
+			if got != want {
+				t.Errorf("CrossMatchings(n=%d, passes=%d): Epsilon %v != scalar %v", n, passes, got, want)
+			}
+		}
+	}
+	for _, n := range []int{4, 8, 16} {
+		c := Cascade(n, 2, rng)
+		got := Epsilon(c, 0)
+		want := EpsilonScalar(c, 0)
+		if got != want {
+			t.Errorf("Cascade(n=%d): Epsilon %v != scalar %v", n, got, want)
+		}
+	}
+	// Workers must not change the result.
+	c := CrossMatchings(12, 3, rng)
+	want := EpsilonScalar(c, 1)
+	for _, w := range []int{1, 2, 4} {
+		if got := Epsilon(c, w); got != want {
+			t.Errorf("workers=%d: Epsilon %v != scalar %v", w, got, want)
+		}
+	}
 }

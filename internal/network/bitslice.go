@@ -1,0 +1,87 @@
+package network
+
+// Bit-sliced 0-1 enumeration: the 2^n inputs of the 0-1 principle are
+// walked in blocks of 64, with block b covering masks 64b..64b+63.
+// Wire w of lane j carries bit w of mask 64b+j, so the six low wires
+// are block-independent lane constants and every higher wire is a
+// constant 0 or all-ones word per block. One EvalBits call then settles
+// 64 inputs with two bitwise ops per comparator — the kernel the
+// optimal-sorting-network searches (Bundala–Závodný, Harder) run on.
+
+// laneIndex[k] has bit j equal to bit k of j: the lane constants that
+// seed wires 0..5 for every block.
+var laneIndex = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// ZeroOneBlocks returns how many 64-lane blocks cover all 2^n 0-1
+// masks, and the mask of valid lanes within each block (all 64 lanes
+// for n >= 6; for n < 6 there is a single block whose low 2^n lanes
+// are the distinct masks and the rest are duplicates to be ignored).
+func ZeroOneBlocks(n int) (blocks int, laneMask uint64) {
+	if n < 6 {
+		return 1, uint64(1)<<(1<<uint(n)) - 1
+	}
+	return 1 << uint(n-6), ^uint64(0)
+}
+
+// BitBatch is per-worker scratch for pushing 64-lane 0-1 blocks
+// through a compiled Program. It is not safe for concurrent use; give
+// each worker its own (NewBitBatch is two small allocations).
+type BitBatch struct {
+	prog  *Program
+	state []uint64
+}
+
+// NewBitBatch returns scratch for evaluating 64-wide 0-1 blocks of p.
+func NewBitBatch(p *Program) *BitBatch {
+	return &BitBatch{prog: p, state: make([]uint64, p.n)}
+}
+
+// LoadBlock fills the lanes with the 64 masks 64*block .. 64*block+63:
+// wire w of lane j is bit w of mask 64*block+j.
+func (b *BitBatch) LoadBlock(block uint64) {
+	n := b.prog.n
+	s := b.state
+	for w := 0; w < n && w < 6; w++ {
+		s[w] = laneIndex[w]
+	}
+	for w := 6; w < n; w++ {
+		s[w] = -(block >> uint(w-6) & 1) // 0 or all-ones
+	}
+}
+
+// Eval runs the compiled program over the loaded lanes in place and
+// returns the state: state[w] holds wire w's output bit for each lane.
+func (b *BitBatch) Eval() []uint64 {
+	b.prog.EvalBits(b.state)
+	return b.state
+}
+
+// State returns the lane words (wire-major) without evaluating.
+func (b *BitBatch) State() []uint64 { return b.state }
+
+// UnsortedLanes returns the set of lanes whose current state is not
+// sorted, as a bitmask: a 0-1 output is unsorted iff some adjacent wire
+// pair has a 1 above a 0, detected wordwise as state[i] &^ state[i+1].
+func (b *BitBatch) UnsortedLanes() uint64 {
+	var bad uint64
+	s := b.state
+	for i := 0; i+1 < len(s); i++ {
+		bad |= s[i] &^ s[i+1]
+	}
+	return bad
+}
+
+// Run loads block, evaluates it, and returns the unsorted-lane mask:
+// bit j set means mask 64*block+j is a 0-1 witness of non-sortedness.
+func (b *BitBatch) Run(block uint64) uint64 {
+	b.LoadBlock(block)
+	b.prog.EvalBits(b.state)
+	return b.UnsortedLanes()
+}

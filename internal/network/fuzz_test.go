@@ -71,3 +71,59 @@ func FuzzReadRegisterText(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCompileEval: Compile must round-trip evaluation — for any network
+// decoded from the fuzz bytes and any 0-1 input mask, Network.Eval,
+// Program.Eval, Program.EvalInto, and lane 0 of Program.EvalBits must
+// all agree.
+func FuzzCompileEval(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3}, uint64(5))
+	f.Add(uint8(8), []byte{7, 0, 1, 6, 2, 5}, uint64(0xA5))
+	f.Add(uint8(2), []byte{}, uint64(1))
+	f.Fuzz(func(t *testing.T, width uint8, pairs []byte, mask uint64) {
+		n := 2 + int(width)%31 // 2..32
+		c := New(n)
+		// Decode pairs into levels, skipping bytes that would reuse a
+		// wire within the level; a zero byte starts a new level.
+		var lv Level
+		used := make(map[int]bool)
+		flush := func() {
+			c.AddLevel(lv)
+			lv, used = nil, make(map[int]bool)
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := int(pairs[i])%n, int(pairs[i+1])%n
+			if a == b || used[a] || used[b] {
+				flush()
+			}
+			if a != b {
+				lv = append(lv, Comparator{Min: a, Max: b})
+				used[a], used[b] = true, true
+			}
+		}
+		flush()
+		p := c.Compile()
+		in := make([]int, n)
+		state := make([]uint64, n)
+		for w := 0; w < n; w++ {
+			in[w] = int(mask >> uint(w) & 1)
+			state[w] = mask >> uint(w) & 1 // lane 0 only
+		}
+		want := c.Eval(in)
+		got := p.Eval(in)
+		into := make([]int, n)
+		p.EvalInto(into, in)
+		p.EvalBits(state)
+		for w := 0; w < n; w++ {
+			if got[w] != want[w] {
+				t.Fatalf("wire %d: Program.Eval %d != Network.Eval %d", w, got[w], want[w])
+			}
+			if into[w] != want[w] {
+				t.Fatalf("wire %d: EvalInto %d != Network.Eval %d", w, into[w], want[w])
+			}
+			if bit := int(state[w] & 1); bit != want[w] {
+				t.Fatalf("wire %d: EvalBits lane 0 bit %d != Network.Eval %d", w, bit, want[w])
+			}
+		}
+	})
+}

@@ -263,16 +263,24 @@ func (c *Network) Compared(input []int, v, w int) bool {
 	return false
 }
 
+// evalParallelGrain is the smallest level width (comparators per
+// level) EvalParallel splits across goroutines: below it, scheduling
+// costs more than the comparisons do.
+const evalParallelGrain = 2048
+
 // EvalParallel evaluates the network level-synchronously, splitting each
 // level's comparators across workers goroutines (0 = GOMAXPROCS).
 // Distinct comparators in a level touch disjoint wires, so the level is
-// data-parallel. Only profitable for very wide networks; benchmarked
-// against Eval in the ablation benches.
+// data-parallel. Levels narrower than evalParallelGrain comparators run
+// sequentially — a level holds at most n/2 comparators, so the parallel
+// path only engages for networks of at least 2·evalParallelGrain = 4096
+// wires, and EvalParallel degenerates to a slightly costlier Eval below
+// that. Benchmarked against Eval in the ablation benches.
 func (c *Network) EvalParallel(input []int, workers int) []int {
 	out := c.checkedCopy(input)
 	for _, lv := range c.levels {
 		lv := lv
-		par.ForEach(len(lv), workers, func(i int) {
+		par.ForEachGrain(len(lv), workers, evalParallelGrain, func(i int) {
 			cm := lv[i]
 			if out[cm.Min] > out[cm.Max] {
 				out[cm.Min], out[cm.Max] = out[cm.Max], out[cm.Min]

@@ -1,0 +1,226 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests reuse randomNetwork (network_test.go) and randomRegister
+// (register_test.go) as structure generators.
+
+func TestCompileMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		c := randomNetwork(n, 1+rng.Intn(8), rng)
+		p := c.Compile()
+		if p.Wires() != c.Wires() || p.Depth() != c.Depth() || p.Size() != c.Size() {
+			t.Fatalf("compiled shape %d/%d/%d != network %d/%d/%d",
+				p.Wires(), p.Depth(), p.Size(), c.Wires(), c.Depth(), c.Size())
+		}
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(2 * n)
+		}
+		want := c.Eval(in)
+		got := p.Eval(in)
+		buf := make([]int, n)
+		p.EvalInto(buf, in)
+		for i := range want {
+			if got[i] != want[i] || buf[i] != want[i] {
+				t.Fatalf("n=%d trial=%d: Eval/EvalInto mismatch at wire %d: %v / %v vs %v",
+					n, trial, i, got, buf, want)
+			}
+		}
+	}
+}
+
+func TestCompileRegisterMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		r := randomRegister(n, 1+rng.Intn(8), rng)
+		p := r.Compile()
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(2 * n)
+		}
+		want := r.Eval(in)
+		got := p.Eval(in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d trial=%d: register program mismatch at %d: %v vs %v",
+					n, trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomNetwork(12, 6, rng)
+	p := c.Compile()
+	in := rng.Perm(12)
+	want := c.Eval(in)
+	p.EvalInto(in, in) // dst == input must be allowed
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("aliased EvalInto differs at %d: %v vs %v", i, in, want)
+		}
+	}
+}
+
+// TestEvalBitsMatchesScalar checks every lane of EvalBits against the
+// scalar evaluation of the corresponding 0-1 input, for circuit and
+// register programs, across random blocks.
+func TestEvalBitsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 * (1 + rng.Intn(10))
+		var p *Program
+		var ev interface{ Eval([]int) []int }
+		if trial%2 == 0 {
+			c := randomNetwork(n, 1+rng.Intn(6), rng)
+			p, ev = c.Compile(), c
+		} else {
+			r := randomRegister(n, 1+rng.Intn(6), rng)
+			p, ev = r.Compile(), r
+		}
+		blocks, laneMask := ZeroOneBlocks(n)
+		bb := NewBitBatch(p)
+		for rep := 0; rep < 4; rep++ {
+			block := uint64(rng.Intn(blocks))
+			bb.LoadBlock(block)
+			out := bb.Eval()
+			for j := 0; j < 64; j++ {
+				if laneMask>>uint(j)&1 == 0 {
+					continue
+				}
+				mask := block*64 + uint64(j)
+				in := make([]int, n)
+				for w := 0; w < n; w++ {
+					in[w] = int(mask >> uint(w) & 1)
+				}
+				want := ev.Eval(in)
+				for w := 0; w < n; w++ {
+					if got := int(out[w] >> uint(j) & 1); got != want[w] {
+						t.Fatalf("n=%d block=%d lane=%d wire=%d: bit %d != scalar %d",
+							n, block, j, w, got, want[w])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnsortedLanesMatchesIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(16)
+		c := randomNetwork(n, 1+rng.Intn(5), rng)
+		p := c.Compile()
+		blocks, laneMask := ZeroOneBlocks(n)
+		bb := NewBitBatch(p)
+		block := uint64(rng.Intn(blocks))
+		bad := bb.Run(block) & laneMask
+		for j := 0; j < 64; j++ {
+			if laneMask>>uint(j)&1 == 0 {
+				continue
+			}
+			mask := block*64 + uint64(j)
+			in := make([]int, n)
+			for w := 0; w < n; w++ {
+				in[w] = int(mask >> uint(w) & 1)
+			}
+			out := c.Eval(in)
+			sorted := true
+			for i := 1; i < n; i++ {
+				if out[i-1] > out[i] {
+					sorted = false
+				}
+			}
+			if gotBad := bad>>uint(j)&1 == 1; gotBad == sorted {
+				t.Fatalf("n=%d mask=%d: UnsortedLanes says bad=%v, scalar sorted=%v",
+					n, mask, gotBad, sorted)
+			}
+		}
+	}
+}
+
+func TestLoadBlockLaneConstants(t *testing.T) {
+	c := New(10) // no comparators: state is the raw input lanes
+	bb := NewBitBatch(c.Compile())
+	for _, block := range []uint64{0, 1, 7, 15} {
+		bb.LoadBlock(block)
+		s := bb.State()
+		for j := 0; j < 64; j++ {
+			mask := block*64 + uint64(j)
+			for w := 0; w < 10; w++ {
+				if got, want := s[w]>>uint(j)&1, mask>>uint(w)&1; got != want {
+					t.Fatalf("block %d lane %d wire %d: loaded %d want %d", block, j, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroOneBlocks(t *testing.T) {
+	cases := []struct {
+		n      int
+		blocks int
+		mask   uint64
+	}{
+		{1, 1, 0x3},
+		{3, 1, 0xFF},
+		{5, 1, 0xFFFFFFFF},
+		{6, 1, ^uint64(0)},
+		{7, 2, ^uint64(0)},
+		{16, 1 << 10, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		blocks, mask := ZeroOneBlocks(tc.n)
+		if blocks != tc.blocks || mask != tc.mask {
+			t.Errorf("ZeroOneBlocks(%d) = (%d, %#x), want (%d, %#x)",
+				tc.n, blocks, mask, tc.blocks, tc.mask)
+		}
+	}
+}
+
+func TestSortsZeroOneInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		c := randomNetwork(n, 1+rng.Intn(6), rng)
+		p := c.Compile()
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(2)
+		}
+		out := c.Eval(in)
+		sorted := true
+		for i := 1; i < n; i++ {
+			if out[i-1] > out[i] {
+				sorted = false
+			}
+		}
+		if got := p.SortsZeroOneInput(in); got != sorted {
+			t.Fatalf("n=%d in=%v: SortsZeroOneInput=%v, scalar=%v", n, in, got, sorted)
+		}
+	}
+}
+
+func TestProgramGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	p := New(4).AddComparators(0, 1).Compile()
+	mustPanic("EvalInto short dst", func() { p.EvalInto(make([]int, 3), make([]int, 4)) })
+	mustPanic("EvalInto short input", func() { p.EvalInto(make([]int, 4), make([]int, 3)) })
+	mustPanic("EvalBits wrong width", func() { p.EvalBits(make([]uint64, 3)) })
+	mustPanic("SortsZeroOneInput wrong width", func() { p.SortsZeroOneInput(make([]int, 3)) })
+}

@@ -37,12 +37,23 @@ func Workers(n, requested int) int {
 // ForEach invokes body(i) for every i in [0, n), splitting the range into
 // contiguous chunks across up to workers goroutines (0 = GOMAXPROCS).
 // body must be safe for concurrent invocation on distinct indices.
+// Ranges smaller than the default grain (2048) run sequentially; use
+// ForEachGrain when the per-item cost justifies a different threshold.
 func ForEach(n, workers int, body func(i int)) {
+	ForEachGrain(n, workers, minParallel, body)
+}
+
+// ForEachGrain is ForEach with an explicit grain size: ranges smaller
+// than grain run sequentially, since below it goroutine scheduling
+// costs more than the work. Callers with expensive bodies can pass a
+// small grain (>= 1) to force parallelism on short ranges; callers
+// with trivial bodies should keep it large.
+func ForEachGrain(n, workers, grain int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers(n, workers)
-	if w == 1 || n < minParallel {
+	if w == 1 || n < grain {
 		for i := 0; i < n; i++ {
 			body(i)
 		}

@@ -112,3 +112,19 @@ func TestMap(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachGrain(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 3000} {
+		for _, grain := range []int{1, 64, 5000} {
+			var hits = make([]int32, n)
+			ForEachGrain(n, 4, grain, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}

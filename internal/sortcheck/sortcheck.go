@@ -8,13 +8,26 @@
 // RandomPerms check permutation inputs directly. The metrics
 // (Inversions, MaxDislocation) grade partially sorted outputs for the
 // average-case experiments.
+//
+// Whenever the evaluator exposes its network structure (it implements
+// network.Compilable — both *network.Network and *network.Register do),
+// the exhaustive 0-1 checkers run on the compiled bit-sliced kernel:
+// 64 inputs per uint64 lane-set, two bitwise ops per comparator, no
+// allocation (network.Program.EvalBits). The scalar enumeration is
+// retained as ZeroOneScalar / ZeroOneFractionScalar /
+// UnsortedZeroOneWitnessesScalar, the differential-test oracle; both
+// paths return identical verdicts and witnesses. Opaque evaluators
+// fall back to the scalar path automatically.
 package sortcheck
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
+	"shufflenet/internal/network"
 	"shufflenet/internal/par"
 )
 
@@ -26,8 +39,23 @@ type Evaluator interface {
 }
 
 // MaxZeroOneWires bounds the width accepted by ZeroOne: 2^n inputs must
-// be enumerable in reasonable time.
-const MaxZeroOneWires = 30
+// be enumerable in reasonable time. The bit-sliced kernel settles 64
+// inputs per program pass, which is what makes widths this large
+// practical (the former cap of 30 predates the kernel; see
+// EXPERIMENTS.md for measured throughput).
+const MaxZeroOneWires = 32
+
+// compiled returns the bit-slice-capable compiled form of ev when ev
+// exposes one of the expected width, and nil otherwise (opaque
+// evaluators use the scalar oracle path).
+func compiled(n int, ev Evaluator) *network.Program {
+	if c, ok := ev.(network.Compilable); ok {
+		if p := c.Compile(); p.Wires() == n {
+			return p
+		}
+	}
+	return nil
+}
 
 // IsSorted reports whether xs is nondecreasing.
 func IsSorted(xs []int) bool {
@@ -53,8 +81,26 @@ func ZeroOneInput(mask uint64, n int) []int {
 // 2^n inputs from {0,1}^n (in parallel across workers; 0 = GOMAXPROCS)
 // and returns ok = true if every output is sorted. On failure, witness
 // is the smallest-mask failing 0-1 input. n must be at most
-// MaxZeroOneWires.
+// MaxZeroOneWires. Compilable evaluators run on the bit-sliced kernel,
+// 64 masks per block; others on the scalar oracle. Both agree exactly.
 func ZeroOne(n int, ev Evaluator, workers int) (ok bool, witness []int) {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
+	}
+	if p := compiled(n, ev); p != nil {
+		mask, ok := zeroOneBits(n, p, workers)
+		if ok {
+			return true, nil
+		}
+		return false, ZeroOneInput(mask, n)
+	}
+	return ZeroOneScalar(n, ev, workers)
+}
+
+// ZeroOneScalar is the scalar-enumeration 0-1 check: one Eval per mask.
+// It is the differential-test oracle for the bit-sliced kernel and the
+// fallback for evaluators that cannot be compiled.
+func ZeroOneScalar(n int, ev Evaluator, workers int) (ok bool, witness []int) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
 	}
@@ -68,10 +114,65 @@ func ZeroOne(n int, ev Evaluator, workers int) (ok bool, witness []int) {
 	return false, ZeroOneInput(uint64(bad), n)
 }
 
+// zeroOneBits scans all 2^n masks through the bit-sliced kernel in
+// 64-wide blocks chunked across workers, returning the smallest failing
+// mask (matching the scalar path's witness exactly) or ok = true.
+func zeroOneBits(n int, p *network.Program, workers int) (firstBad uint64, ok bool) {
+	blocks, laneMask := network.ZeroOneBlocks(n)
+	best := int64(blocks)
+	par.ForEachChunk(blocks, workers, func(lo, hi int) {
+		bb := network.NewBitBatch(p)
+		for b := lo; b < hi; b++ {
+			if int64(b) >= atomic.LoadInt64(&best) {
+				return // a smaller failing block already found
+			}
+			if bb.Run(uint64(b))&laneMask == 0 {
+				continue
+			}
+			for {
+				cur := atomic.LoadInt64(&best)
+				if int64(b) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(b)) {
+					break
+				}
+			}
+			return
+		}
+	})
+	if best == int64(blocks) {
+		return 0, true
+	}
+	bad := network.NewBitBatch(p).Run(uint64(best)) & laneMask
+	return uint64(best)*64 + uint64(mathbits.TrailingZeros64(bad)), false
+}
+
 // ZeroOneFraction returns the fraction of the 2^n 0-1 inputs that the
-// network sorts, evaluated exhaustively in parallel. n must be at most
-// MaxZeroOneWires.
+// network sorts, evaluated exhaustively in parallel (bit-sliced for
+// Compilable evaluators). n must be at most MaxZeroOneWires.
 func ZeroOneFraction(n int, ev Evaluator, workers int) float64 {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck.ZeroOneFraction: n = %d exceeds %d", n, MaxZeroOneWires))
+	}
+	p := compiled(n, ev)
+	if p == nil {
+		return ZeroOneFractionScalar(n, ev, workers)
+	}
+	blocks, laneMask := network.ZeroOneBlocks(n)
+	lanes := mathbits.OnesCount64(laneMask)
+	var good int64
+	par.ForEachChunk(blocks, workers, func(lo, hi int) {
+		bb := network.NewBitBatch(p)
+		var g int64
+		for b := lo; b < hi; b++ {
+			g += int64(lanes - mathbits.OnesCount64(bb.Run(uint64(b))&laneMask))
+		}
+		atomic.AddInt64(&good, g)
+	})
+	return float64(good) / float64(int64(1)<<uint(n))
+}
+
+// ZeroOneFractionScalar is the scalar-enumeration sorted fraction (the
+// differential-test oracle for ZeroOneFraction).
+func ZeroOneFractionScalar(n int, ev Evaluator, workers int) float64 {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOneFraction: n = %d exceeds %d", n, MaxZeroOneWires))
 	}
@@ -101,10 +202,17 @@ func Exhaustive(n int, ev Evaluator) (ok bool, witness []int) {
 	for i := range data {
 		data[i] = i
 	}
+	p := compiled(n, ev)
+	out := make([]int, n)
 	witness = nil
-	permute(data, func(p []int) bool {
-		if !IsSorted(ev.Eval(p)) {
-			witness = append([]int(nil), p...)
+	permute(data, func(in []int) bool {
+		if p != nil {
+			p.EvalInto(out, in)
+		} else {
+			out = ev.Eval(in)
+		}
+		if !IsSorted(out) {
+			witness = append([]int(nil), in...)
 			return false
 		}
 		return true
@@ -115,14 +223,23 @@ func Exhaustive(n int, ev Evaluator) (ok bool, witness []int) {
 // RandomPerms evaluates the network on trials uniformly random
 // permutations drawn from rng and returns ok = true if all outputs are
 // sorted; on failure, witness is the first failing permutation found.
+// Compilable evaluators run through the compiled program into a reused
+// buffer (no per-trial allocation).
 func RandomPerms(n, trials int, ev Evaluator, rng *rand.Rand) (ok bool, witness []int) {
 	in := make([]int, n)
 	for i := range in {
 		in[i] = i
 	}
+	p := compiled(n, ev)
+	out := make([]int, n)
 	for t := 0; t < trials; t++ {
 		shuffleInts(in, rng)
-		if !IsSorted(ev.Eval(in)) {
+		if p != nil {
+			p.EvalInto(out, in)
+		} else {
+			out = ev.Eval(in)
+		}
+		if !IsSorted(out) {
 			return false, append([]int(nil), in...)
 		}
 	}
@@ -133,44 +250,45 @@ func RandomPerms(n, trials int, ev Evaluator, rng *rand.Rand) (ok bool, witness 
 // permutations, the probability that the network sorts a uniformly
 // random input. Deterministic given seed; trials are split across
 // workers (0 = GOMAXPROCS), each with an independent stream derived
-// from seed.
+// from seed. The slot layout (slot s runs ceil/floor(trials/w) trials
+// on stream seed + s*1_000_003) is part of the contract: results are
+// byte-identical for a given (seed, workers) regardless of evaluation
+// path.
 func SortedFraction(n, trials int, ev Evaluator, seed int64, workers int) float64 {
 	if trials <= 0 {
 		return 0
 	}
 	w := par.Workers(trials, workers)
-	good := make([]int64, w)
 	counts := make([]int, w)
 	for i := 0; i < trials; i++ {
 		counts[i%w]++
 	}
-	done := make(chan struct{})
-	for slot := 0; slot < w; slot++ {
-		go func(slot int) {
-			defer func() { done <- struct{}{} }()
+	p := compiled(n, ev)
+	var good int64
+	par.ForEachChunk(w, w, func(lo, hi int) {
+		in := make([]int, n)
+		out := make([]int, n)
+		var g int64
+		for slot := lo; slot < hi; slot++ {
 			rng := rand.New(rand.NewSource(seed + int64(slot)*1_000_003))
-			in := make([]int, n)
 			for i := range in {
 				in[i] = i
 			}
-			var g int64
 			for t := 0; t < counts[slot]; t++ {
 				shuffleInts(in, rng)
-				if IsSorted(ev.Eval(in)) {
+				if p != nil {
+					p.EvalInto(out, in)
+				} else {
+					out = ev.Eval(in)
+				}
+				if IsSorted(out) {
 					g++
 				}
 			}
-			good[slot] = g
-		}(slot)
-	}
-	for slot := 0; slot < w; slot++ {
-		<-done
-	}
-	var total int64
-	for _, g := range good {
-		total += g
-	}
-	return float64(total) / float64(trials)
+		}
+		atomic.AddInt64(&good, g)
+	})
+	return float64(good) / float64(trials)
 }
 
 // Inversions returns the number of inverted pairs (i < j with
@@ -207,8 +325,33 @@ func MaxDislocation(xs []int) int {
 }
 
 // UnsortedZeroOneWitnesses returns up to limit 0-1 inputs (as masks)
-// that the network fails to sort, scanning masks in increasing order.
+// that the network fails to sort, scanning masks in increasing order
+// (bit-sliced for Compilable evaluators, 64 masks per step).
 func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
+	if n > MaxZeroOneWires {
+		panic(fmt.Sprintf("sortcheck: n = %d exceeds %d", n, MaxZeroOneWires))
+	}
+	p := compiled(n, ev)
+	if p == nil {
+		return UnsortedZeroOneWitnessesScalar(n, ev, limit)
+	}
+	var out []uint64
+	blocks, laneMask := network.ZeroOneBlocks(n)
+	bb := network.NewBitBatch(p)
+	for b := 0; b < blocks && len(out) < limit; b++ {
+		bad := bb.Run(uint64(b)) & laneMask
+		for bad != 0 && len(out) < limit {
+			j := mathbits.TrailingZeros64(bad)
+			out = append(out, uint64(b)*64+uint64(j))
+			bad &= bad - 1
+		}
+	}
+	return out
+}
+
+// UnsortedZeroOneWitnessesScalar is the scalar-enumeration witness scan
+// (the differential-test oracle for UnsortedZeroOneWitnesses).
+func UnsortedZeroOneWitnessesScalar(n int, ev Evaluator, limit int) []uint64 {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck: n = %d exceeds %d", n, MaxZeroOneWires))
 	}

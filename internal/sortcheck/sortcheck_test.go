@@ -268,9 +268,13 @@ func TestGuards(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("ZeroOne too wide", func() { ZeroOne(31, network.New(31), 0) })
+	wide := MaxZeroOneWires + 1
+	mustPanic("ZeroOne too wide", func() { ZeroOne(wide, network.New(wide), 0) })
+	mustPanic("ZeroOneScalar too wide", func() { ZeroOneScalar(wide, network.New(wide), 0) })
 	mustPanic("Exhaustive too wide", func() { Exhaustive(10, network.New(10)) })
-	mustPanic("Fraction too wide", func() { ZeroOneFraction(31, network.New(31), 0) })
+	mustPanic("Fraction too wide", func() { ZeroOneFraction(wide, network.New(wide), 0) })
+	mustPanic("FractionScalar too wide", func() { ZeroOneFractionScalar(wide, network.New(wide), 0) })
+	mustPanic("Witnesses too wide", func() { UnsortedZeroOneWitnesses(wide, network.New(wide), 1) })
 }
 
 // The register model plugs into the same checkers.

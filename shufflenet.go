@@ -66,6 +66,12 @@ type (
 	Analysis = core.Analysis
 	// Certificate is a Corollary 4.1.1 witness of non-sortability.
 	Certificate = core.Certificate
+	// Program is a compiled comparator network: a branch-free flat
+	// comparator stream with allocation-free scalar evaluation
+	// (EvalInto) and a bit-sliced 0-1 kernel (EvalBits, 64 inputs per
+	// word) — the engine behind IsSortingNetwork and the exhaustive
+	// checkers.
+	Program = network.Program
 )
 
 // NewNetwork returns an empty circuit-model network on n wires.
@@ -112,13 +118,21 @@ func DecomposeIterated(c *Network, l int) (*IteratedRDN, bool) {
 // Shuffle returns the perfect shuffle permutation on n = 2^d elements.
 func Shuffle(n int) Perm { return perm.Shuffle(n) }
 
-// IsSortingNetwork decides by the 0-1 principle (exhaustively, in
-// parallel) whether the circuit sorts; it returns a failing 0-1 input
-// as witness otherwise. The width must be at most
-// sortcheck.MaxZeroOneWires (30).
+// IsSortingNetwork decides by the 0-1 principle (exhaustively, on the
+// bit-sliced kernel, in parallel) whether the circuit sorts; it returns
+// a failing 0-1 input as witness otherwise. The width must be at most
+// sortcheck.MaxZeroOneWires (32).
 func IsSortingNetwork(c *Network) (ok bool, witness []int) {
 	return sortcheck.ZeroOne(c.Wires(), c, 0)
 }
+
+// Compile flattens the circuit into its compiled Program form: the
+// allocation-free scalar and bit-sliced 0-1 evaluation engine.
+func Compile(c *Network) *Program { return network.Compile(c) }
+
+// CompileRegister flattens a register-model network into a Program via
+// the Section 1 model equivalence.
+func CompileRegister(r *Register) *Program { return network.CompileRegister(r) }
 
 // Adversary runs the paper's constructive lower-bound argument
 // (Theorem 4.1 with the paper's parameter k = lg n) against an iterated
