@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test check vet race bench fuzz experiments
+.PHONY: build test check vet race bench bench-json fuzz experiments
+
+# Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
+BENCH_JSON ?= BENCH_PR2.json
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,14 @@ check: vet race build test
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
+
+# bench-json records the full suite (plus the obs hot-path benchmarks)
+# as machine-readable JSON via cmd/benchjson.
+bench-json:
+	{ $(GO) test -run XXX -bench . -benchmem . ; \
+	  $(GO) test -run XXX -bench . -benchmem ./internal/obs/ ; } \
+	| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
 
 # Short fuzz pass over the parsers and the compiled-kernel round trip.
 fuzz:

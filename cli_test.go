@@ -4,6 +4,7 @@ package shufflenet_test
 // built once into a temp dir and driven through its primary flows.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -145,6 +146,91 @@ func TestCLIExperimentsQuick(t *testing.T) {
 	// Unknown experiment: nonzero exit.
 	if _, err = run(t, "experiments", "-run", "E42"); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestCLIRunJournal is the observability acceptance path: two tools
+// append run-journal lines to the same file, each line is one valid
+// JSON object carrying the identity fields, final metrics, and — for
+// the adversary — the per-block surviving-set sizes and collision
+// counts.
+func TestCLIRunJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+
+	out, err := run(t, "adversary", "-n", "256", "-blocks", "2", "-journal", journal, "-metrics")
+	if err != nil {
+		t.Fatalf("adversary failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "--- metrics (adversary) ---") ||
+		!strings.Contains(out, "core.adversary.blocks 2") {
+		t.Fatalf("-metrics dump missing:\n%s", out)
+	}
+
+	out, err = run(t, "experiments", "-run", "E4", "-quick", "-journal", journal, "-trace")
+	if err != nil {
+		t.Fatalf("experiments failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "--- spans (experiments) ---") || !strings.Contains(out, "E4") {
+		t.Fatalf("-trace output missing:\n%s", out)
+	}
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2 (one per invocation):\n%s", len(lines), data)
+	}
+
+	type entry struct {
+		Cmd       string         `json:"cmd"`
+		Seed      int64          `json:"seed"`
+		GoVersion string         `json:"go_version"`
+		WallMS    float64        `json:"wall_ms"`
+		Metrics   map[string]any `json:"metrics"`
+		Extra     map[string]any `json:"extra"`
+	}
+	var adv, exp entry
+	if err := json.Unmarshal([]byte(lines[0]), &adv); err != nil {
+		t.Fatalf("adversary journal line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &exp); err != nil {
+		t.Fatalf("experiments journal line is not valid JSON: %v\n%s", err, lines[1])
+	}
+	if adv.Cmd != "adversary" || exp.Cmd != "experiments" {
+		t.Fatalf("cmd fields wrong: %q, %q", adv.Cmd, exp.Cmd)
+	}
+	if adv.GoVersion == "" || adv.WallMS <= 0 {
+		t.Fatalf("identity/timing fields missing: %+v", adv)
+	}
+	if v, ok := adv.Metrics["core.adversary.blocks"].(float64); !ok || v != 2 {
+		t.Fatalf("adversary metrics missing block count: %v", adv.Metrics)
+	}
+
+	// Per-block telemetry: 2 reports, each with survivor and collision
+	// counts and the kept-set size.
+	reports, ok := adv.Extra["reports"].([]any)
+	if !ok || len(reports) != 2 {
+		t.Fatalf("journal reports wrong: %v", adv.Extra["reports"])
+	}
+	for i, r := range reports {
+		rep, ok := r.(map[string]any)
+		if !ok {
+			t.Fatalf("report %d not an object: %v", i, r)
+		}
+		for _, key := range []string{"Survivors", "SetCount", "Collisions", "After"} {
+			if _, ok := rep[key]; !ok {
+				t.Fatalf("report %d missing %s: %v", i, key, rep)
+			}
+		}
+	}
+	if _, ok := adv.Extra["certificate"]; !ok {
+		t.Fatalf("adversary journal missing certificate summary: %v", adv.Extra)
+	}
+	if _, ok := exp.Extra["experiments"]; !ok {
+		t.Fatalf("experiments journal missing per-experiment timings: %v", exp.Extra)
 	}
 }
 

@@ -8,6 +8,7 @@
 //
 //	adversary -n 256 -blocks 2 [-topology butterfly|random|bitonic]
 //	          [-seed N] [-k K] [-v]
+//	          [-journal run.jsonl] [-metrics] [-pprof ADDR]
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
 //
@@ -28,6 +29,12 @@
 // recovered with delta.DecomposeIterated (block height -l, default
 // lg n), and the adversary attacks the recovery; the certificate is
 // verified against the loaded circuit itself.
+//
+// Observability: -journal appends one JSON line per invocation,
+// including the per-block reports (survivors, surviving-set counts,
+// collisions charged) and the certificate summary; -metrics dumps the
+// metric registry (block counts, survivor histogram, lemma counters)
+// to stderr at exit; -pprof serves /debug/pprof and /debug/vars.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"shufflenet/internal/core"
 	"shufflenet/internal/delta"
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/perm"
 )
 
@@ -54,19 +62,34 @@ func main() {
 	blockL := flag.Int("l", 0, "block height for -file decomposition (0 = lg n)")
 	save := flag.String("save", "", "write the certificate as JSON to this path")
 	check := flag.String("check", "", "verify a saved certificate (JSON) against the circuit from -file, then exit")
+	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
+	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	var err error
+	cli, err = obs.StartCLI("adversary", *journal, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adversary:", err)
+		os.Exit(1)
+	}
+	cli.Entry.Seed = *seed
+	cli.HandleInterrupt(nil)
+	defer cli.Finish()
 
 	if *check != "" {
 		if *file == "" {
 			fail("-check needs -file with the circuit to verify against")
 		}
 		runCheck(*check, *file)
+		cli.Finish()
 		return
 	}
 	saveCert = *save
 
 	if *file != "" {
 		runOnFile(*file, *blockL, *k, *verbose)
+		cli.Finish()
 		return
 	}
 
@@ -106,21 +129,27 @@ func main() {
 
 	fmt.Printf("network: %s, n=%d, %d blocks, comparator depth %d, size %d\n",
 		*topology, *n, it.Blocks(), it.Depth(), it.Size())
+	cli.Entry.Set("topology", *topology)
+	cli.Entry.Set("n", *n)
+	cli.Entry.Set("blocks", *blocks)
+	cli.Entry.Set("depth", it.Depth())
 
+	sp := obs.NewSpan("theorem41", obs.A("n", *n), obs.A("blocks", *blocks))
 	an := core.Theorem41(it, *k)
+	sp.End()
+	cli.Entry.AddSpans(sp)
+	journalAnalysis(an)
+
 	fmt.Printf("adversary: k=%d\n", an.K)
-	if *verbose {
-		for _, rep := range an.Reports {
-			fmt.Printf("  block %d (l=%d): |D| %d -> survivors %d across sets -> kept set %d of size %d (paper bound %.3g)\n",
-				rep.Block, rep.Levels, rep.Before, rep.Survivors, rep.ChosenSet, rep.After, rep.PaperBound)
-		}
-	}
+	printReports(an.Reports, *verbose)
 	fmt.Printf("surviving noncolliding set D: %d wires\n", len(an.D))
 
 	cert, err := an.Certificate()
 	if err != nil {
 		fmt.Printf("no certificate: %v\n", err)
 		fmt.Println("(the adversary cannot rule out that this network sorts; at this depth it may well)")
+		cli.Entry.Set("certificate", false)
+		cli.Finish()
 		os.Exit(0)
 	}
 
@@ -136,12 +165,43 @@ func main() {
 	if err := cert.Verify(circ); err != nil {
 		fail("certificate verification FAILED: " + err.Error())
 	}
+	journalCertificate(cert, true)
 	fmt.Println("certificate verified: the network routes π and π′ identically and never compares m with m+1")
 	fmt.Println("conclusion: this network is NOT a sorting network (Corollary 4.1.1)")
 	saveCertificate(cert)
 }
 
-var saveCert string
+var (
+	saveCert string
+	cli      *obs.CLIRun
+)
+
+// printReports prints the per-block telemetry under -v.
+func printReports(reports []core.BlockReport, verbose bool) {
+	if !verbose {
+		return
+	}
+	for _, rep := range reports {
+		fmt.Printf("  block %d (l=%d): |D| %d -> survivors %d across %d sets (%d collisions) -> kept set %d of size %d (paper bound %.3g)\n",
+			rep.Block, rep.Levels, rep.Before, rep.Survivors, rep.SetCount,
+			rep.Collisions, rep.ChosenSet, rep.After, rep.PaperBound)
+	}
+}
+
+// journalAnalysis records the adversary outcome — per-block surviving
+// set sizes and collision counts — in the run journal entry.
+func journalAnalysis(an *core.Analysis) {
+	cli.Entry.Set("k", an.K)
+	cli.Entry.Set("d_size", len(an.D))
+	cli.Entry.Set("reports", an.Reports)
+}
+
+// journalCertificate records the certificate summary.
+func journalCertificate(cert *core.Certificate, verified bool) {
+	cli.Entry.Set("certificate", map[string]interface{}{
+		"w0": cert.W0, "w1": cert.W1, "m": cert.M, "verified": verified,
+	})
+}
 
 // saveCertificate writes the certificate JSON when -save was given.
 func saveCertificate(cert *core.Certificate) {
@@ -182,6 +242,8 @@ func runCheck(certPath, netPath string) {
 	if err := cert.Verify(circ); err != nil {
 		fail("certificate REJECTED: " + err.Error())
 	}
+	cli.Entry.Set("check", certPath)
+	journalCertificate(cert, true)
 	fmt.Printf("certificate %s verified against %s: the circuit is NOT a sorting network\n", certPath, netPath)
 }
 
@@ -210,18 +272,23 @@ func runOnFile(path string, l, k int, verbose bool) {
 		fail(fmt.Sprintf("the circuit is not a (k,%d)-iterated reverse delta network; the paper's lower bound does not apply to it", l))
 	}
 	fmt.Printf("recovered: %d reverse delta blocks of %d levels\n", it.Blocks(), l)
+	cli.Entry.Set("file", path)
+	cli.Entry.Set("n", n)
+	cli.Entry.Set("blocks", it.Blocks())
 
+	sp := obs.NewSpan("theorem41", obs.A("n", n), obs.A("blocks", it.Blocks()))
 	an := core.Theorem41(it, k)
-	if verbose {
-		for _, rep := range an.Reports {
-			fmt.Printf("  block %d: |D| %d -> survivors %d -> kept set %d of size %d\n",
-				rep.Block, rep.Before, rep.Survivors, rep.ChosenSet, rep.After)
-		}
-	}
+	sp.End()
+	cli.Entry.AddSpans(sp)
+	journalAnalysis(an)
+
+	printReports(an.Reports, verbose)
 	fmt.Printf("surviving noncolliding set D: %d wires\n", len(an.D))
 	cert, err := an.Certificate()
 	if err != nil {
 		fmt.Printf("no certificate: %v\n", err)
+		cli.Entry.Set("certificate", false)
+		cli.Finish()
 		os.Exit(0)
 	}
 	fmt.Printf("certificate: wires w0=%d, w1=%d, adjacent values m=%d, m+1=%d\n",
@@ -229,11 +296,16 @@ func runOnFile(path string, l, k int, verbose bool) {
 	if err := cert.Verify(circ); err != nil {
 		fail("certificate verification FAILED: " + err.Error())
 	}
+	journalCertificate(cert, true)
 	fmt.Println("certificate verified against the loaded circuit: NOT a sorting network")
 	saveCertificate(cert)
 }
 
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "adversary:", msg)
+	if cli != nil {
+		cli.Entry.Set("error", msg)
+		cli.Finish()
+	}
 	os.Exit(1)
 }

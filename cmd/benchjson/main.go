@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin or the files given as arguments) into a JSON document mapping
+// benchmark names to their measurements — ns/op, MB/s, B/op,
+// allocs/op, and any custom metrics such as inputs/s. The header lines
+// (goos, goarch, pkg, cpu) are carried into the document so a recorded
+// file is self-describing.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem . | benchjson -o BENCH.json
+//
+// Used by `make bench-json` to record the per-PR benchmark snapshots
+// (BENCH_PR*.json) referenced from EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"` // custom ReportMetric units
+}
+
+// Doc is the whole report.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		var readers []io.Reader
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err.Error())
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	doc, err := Parse(in)
+	if err != nil {
+		fail(err.Error())
+	}
+	if len(doc.Benchmarks) == 0 {
+		fail("no Benchmark lines found in input")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err.Error())
+	}
+}
+
+// Parse reads `go test -bench` output. Benchmark lines have the shape
+//
+//	BenchmarkName-8   1234   5678 ns/op   12.3 MB/s   45 B/op   6 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs; custom metrics
+// from b.ReportMetric appear as additional pairs.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // e.g. a bare "BenchmarkFoo" header before subbenchmarks
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "MB/s":
+				res.MBPerSec = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	return doc, nil
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	os.Exit(1)
+}

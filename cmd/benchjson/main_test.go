@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: shufflenet
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkZeroOneScalarVsBits/bits-1   9482  126613 ns/op  517.85 MB/s  479000000 inputs/s  520 B/op  3 allocs/op
+BenchmarkCounterAdd/enabled-1   197550471  6.07 ns/op  0 B/op  0 allocs/op
+PASS
+ok  	shufflenet	12.3s
+`
+	doc, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "shufflenet" {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	// Sorted by name: CounterAdd before ZeroOne.
+	c, z := doc.Benchmarks[0], doc.Benchmarks[1]
+	if c.Name != "BenchmarkCounterAdd/enabled-1" || c.NsPerOp != 6.07 || c.AllocsPerOp != 0 {
+		t.Fatalf("bad counter result: %+v", c)
+	}
+	if z.Iterations != 9482 || z.NsPerOp != 126613 || z.MBPerSec != 517.85 || z.BytesPerOp != 520 {
+		t.Fatalf("bad zeroone result: %+v", z)
+	}
+	if z.Extra["inputs/s"] != 479000000 {
+		t.Fatalf("custom metric lost: %+v", z.Extra)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	doc, err := Parse(strings.NewReader("BenchmarkHeader\nBenchmarkOdd 12 34\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("malformed lines should be skipped: %+v", doc.Benchmarks)
+	}
+}

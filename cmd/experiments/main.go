@@ -5,8 +5,16 @@
 // Usage:
 //
 //	experiments [-run E4[,E5,...]] [-quick] [-seed N] [-csv] [-workers N]
+//	            [-journal run.jsonl] [-metrics] [-trace] [-pprof ADDR]
 //
 // With no -run flag every experiment is executed in order.
+//
+// Observability: -journal appends one JSON line per invocation (args,
+// seed, timings, peak memory, final metrics, per-experiment spans);
+// -metrics dumps the metric registry to stderr at exit; -trace prints
+// the span tree (per-experiment phase timings) to stderr; -pprof
+// serves /debug/pprof and /debug/vars on ADDR. SIGINT flushes the
+// journal with the experiments completed so far.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"time"
 
 	"shufflenet/internal/experiments"
+	"shufflenet/internal/obs"
 )
 
 func main() {
@@ -25,9 +34,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
+	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
+	trace := flag.Bool("trace", false, "print the span tree (phase timings) to stderr at exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
-
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 
 	var runners []experiments.Runner
 	if *run == "" {
@@ -46,12 +57,42 @@ func main() {
 		}
 	}
 
+	cli, err := obs.StartCLI("experiments", *journal, *metrics, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cli.Entry.Seed = *seed
+	cli.Entry.Set("quick", *quick)
+
+	root := obs.NewSpan("experiments")
+	timings := map[string]float64{} // experiment ID → milliseconds
+	finish := func() {
+		root.End()
+		cli.Entry.Set("experiments", timings)
+		cli.Entry.AddSpans(root)
+		if *trace {
+			fmt.Fprintln(os.Stderr, "--- spans (experiments) ---")
+			root.WriteTree(os.Stderr)
+		}
+		cli.Finish()
+	}
+	cli.HandleInterrupt(func(e *obs.Entry) {
+		root.End()
+		e.Set("experiments", timings)
+		e.AddSpans(root)
+	})
+
 	for i, r := range runners {
 		if i > 0 {
 			fmt.Println()
 		}
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+		cfg.Span = root.Child(r.ID, obs.A("brief", r.Brief))
 		start := time.Now()
 		tab := r.Run(cfg)
+		cfg.Span.End()
+		timings[r.ID] = float64(cfg.Span.Duration()) / float64(time.Millisecond)
 		var err error
 		if *csv {
 			err = tab.RenderCSV(os.Stdout)
@@ -61,7 +102,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
 	}
+	finish()
 }

@@ -28,6 +28,10 @@
 //	dot    emit Graphviz
 //	ascii  draw a Knuth-style wire diagram (small networks)
 //	text   emit the line-oriented text serialization
+//
+// Observability: -journal appends one JSON line per invocation (family,
+// n, op, result, metrics); -metrics dumps the metric registry to stderr
+// at exit; -pprof serves /debug/pprof and /debug/vars on ADDR.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"shufflenet/internal/halver"
 	"shufflenet/internal/netbuild"
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/perm"
 	"shufflenet/internal/shuffle"
 	"shufflenet/internal/sortcheck"
@@ -56,7 +61,21 @@ func main() {
 	passes := flag.Int("passes", 4, "passes for -net cascade")
 	depth := flag.Int("depth", 8, "depth for -net random")
 	seed := flag.Int64("seed", 1, "random seed")
+	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
+	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	var err error
+	cli, err = obs.StartCLI("snet", *journal, *metrics, *pprofAddr)
+	if err != nil {
+		fail(err.Error())
+	}
+	cli.Entry.Seed = *seed
+	cli.Entry.Set("family", *family)
+	cli.Entry.Set("op", *op)
+	cli.HandleInterrupt(nil)
+	defer cli.Finish()
 
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -112,6 +131,8 @@ func main() {
 		}
 	}
 
+	cli.Entry.Set("n", *n)
+
 	switch *op {
 	case "info":
 		if reg != nil {
@@ -134,13 +155,21 @@ func main() {
 			ev.c = circ
 		}
 		width := *n
+		sp := obs.NewSpan("check", obs.A("n", width))
 		if width <= 20 {
 			ok, w := sortcheck.ZeroOne(width, ev, 0)
+			sp.End()
+			cli.Entry.Set("sorts", ok)
+			cli.Entry.Set("method", "zero-one")
 			report(ok, w, "0-1 principle, exhaustive")
 		} else {
 			ok, w := sortcheck.RandomPerms(width, 1000, ev, rng)
+			sp.End()
+			cli.Entry.Set("sorts", ok)
+			cli.Entry.Set("method", "random-perms")
 			report(ok, w, "randomized (1000 permutations; cannot prove sortedness)")
 		}
+		cli.Entry.AddSpans(sp)
 	case "eval":
 		var in []int
 		if *input != "" {
@@ -163,6 +192,7 @@ func main() {
 		}
 		fmt.Printf("out: %v\n", out)
 		fmt.Printf("sorted: %v\n", sortcheck.IsSorted(out))
+		cli.Entry.Set("sorted", sortcheck.IsSorted(out))
 	case "dot":
 		if circ == nil {
 			circ, _ = network.FromRegister(reg)
@@ -211,7 +241,13 @@ func report(ok bool, w []int, method string) {
 	fmt.Printf("sorting network: NO (%s)\nwitness input: %v\n", method, w)
 }
 
+var cli *obs.CLIRun
+
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "snet:", msg)
+	if cli != nil {
+		cli.Entry.Set("error", msg)
+		cli.Finish()
+	}
 	os.Exit(1)
 }

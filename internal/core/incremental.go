@@ -4,8 +4,17 @@ import (
 	"fmt"
 
 	"shufflenet/internal/delta"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/pattern"
 	"shufflenet/internal/perm"
+)
+
+// Per-block adversary metrics. The survivors histogram buckets the
+// size of the kept set after each block (powers of two up to 2^20),
+// so a long run shows at a glance where the tracked set collapses.
+var (
+	metBlocks         = obs.C("core.adversary.blocks")
+	metBlockSurvivors = obs.H("core.adversary.block_kept", obs.Pow2Bounds(20))
 )
 
 // Incremental is the adversary of Theorem 4.1 driven one block at a
@@ -98,9 +107,11 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 	outWire := make([]int, n)
 	off := 0
 	tMax := 0
+	collisions := 0
 	for _, tree := range f.Trees() {
 		m := tree.Inputs()
 		res := Lemma41(tree, pSlots[off:off+m].Clone(), inc.k)
+		collisions += res.Collisions
 		if res.T > tMax {
 			tMax = res.T
 		}
@@ -118,12 +129,14 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 
 	bestIdx, bestLen := -1, -1
 	surv := 0
+	setCount := 0
 	for i := 0; i < tMax; i++ {
 		ws, ok := merged[i]
 		if !ok {
 			continue
 		}
 		surv += len(ws)
+		setCount++
 		if len(ws) > bestLen {
 			bestIdx, bestLen = i, len(ws)
 		}
@@ -134,11 +147,14 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 		Levels:     f.Levels(),
 		Before:     before,
 		Survivors:  surv,
+		SetCount:   setCount,
+		Collisions: collisions,
 		ChosenSet:  bestIdx,
 		After:      bestLen,
 		PaperBound: paperBound(n, len(inc.reports)+1),
 	}
 	inc.reports = append(inc.reports, rep)
+	metBlocks.Inc()
 
 	if bestIdx < 0 {
 		for w := range inc.pOrig {
@@ -147,8 +163,10 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 		inc.dead = true
 		rep.After = 0
 		inc.reports[len(inc.reports)-1] = rep
+		metBlockSurvivors.Observe(0)
 		return rep
 	}
+	metBlockSurvivors.Observe(int64(bestLen))
 
 	renamed := qSlots.Rename(bestIdx)
 	for s, w := range inc.originAt {

@@ -25,7 +25,17 @@ import (
 	"fmt"
 
 	"shufflenet/internal/delta"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/pattern"
+)
+
+// Adversary metrics, added once per Lemma41 call (the recursion itself
+// stays atomic-free; collision counts ride up through LemmaResult).
+var (
+	metLemmaTrees      = obs.C("core.lemma41.trees")
+	metLemmaWires      = obs.C("core.lemma41.wires")
+	metLemmaLevels     = obs.C("core.lemma41.levels")
+	metLemmaCollisions = obs.C("core.lemma41.collisions")
 )
 
 // LemmaResult is the outcome of Lemma41 on one reverse delta tree.
@@ -43,6 +53,11 @@ type LemmaResult struct {
 	OutWire []int
 	// Survivors is |B| = Σ|Sets[i]|; Initial is |A|.
 	Survivors, Initial int
+	// Collisions is the total number of tracked wires charged to
+	// collision sets C_{j,j-i0} (and hence renamed to X symbols)
+	// across every node of the recursion — the adversary's entire
+	// loss budget, spent where the averaging argument says it may.
+	Collisions int
 	// xNext is the next unused X subscript (internal bookkeeping,
 	// exported via method only).
 	xNext int
@@ -96,7 +111,11 @@ func Lemma41(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
 			panic(fmt.Sprintf("core.Lemma41: input pattern contains %v; only S0/M0/L0 allowed", s))
 		}
 	}
+	metLemmaTrees.Inc()
+	metLemmaWires.Add(int64(d.Inputs()))
+	metLemmaLevels.Add(int64(d.Levels()))
 	res := lemmaRec(d, p, k)
+	metLemmaCollisions.Add(int64(res.Collisions))
 	// Paper invariant: |B| >= |A| - l*|A|/k².
 	if float64(res.Survivors) < float64(res.Initial)-float64(d.Levels()*res.Initial)/float64(k*k)-1e-9 {
 		panic(fmt.Sprintf("core.Lemma41: survival bound violated: |B|=%d |A|=%d l=%d k=%d",
@@ -279,13 +298,14 @@ func lemmaRec(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
 		surv += len(ws)
 	}
 	return &LemmaResult{
-		Q:         q,
-		Sets:      sets,
-		T:         t(l + 1),
-		OutWire:   outWire,
-		Survivors: surv,
-		Initial:   st0.Initial + st1.Initial,
-		xNext:     xFresh,
+		Q:          q,
+		Sets:       sets,
+		T:          t(l + 1),
+		OutWire:    outWire,
+		Survivors:  surv,
+		Initial:    st0.Initial + st1.Initial,
+		Collisions: st0.Collisions + st1.Collisions + len(removed),
+		xNext:      xFresh,
 	}
 }
 

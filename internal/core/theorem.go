@@ -9,12 +9,15 @@ import (
 )
 
 // BlockReport records the adversary's state after one block of an
-// iterated reverse delta network.
+// iterated reverse delta network — the per-block telemetry surfaced by
+// `adversary -v` and recorded in run journals.
 type BlockReport struct {
 	Block      int     // block index
-	Levels     int     // levels of the block's trees
+	Levels     int     // levels of the block's trees (= recursion depth)
 	Before     int     // |D| entering the block
 	Survivors  int     // |B| across all sets after the block
+	SetCount   int     // number of nonempty surviving noncolliding sets
+	Collisions int     // tracked wires charged to collision sets in the block
 	ChosenSet  int     // index i0 of the largest set kept
 	After      int     // |D| = size of the kept set
 	PaperBound float64 // n / lg^{4(d+1)} n, the Theorem 4.1 guarantee

@@ -7,6 +7,7 @@ import (
 	"shufflenet/internal/bits"
 	"shufflenet/internal/core"
 	"shufflenet/internal/delta"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/pattern"
 	"shufflenet/internal/perm"
 )
@@ -31,6 +32,7 @@ func E2LemmaSurvival(cfg Config) *Table {
 	for _, n := range sizes {
 		l := bits.Lg(n)
 		for _, topo := range []string{"butterfly", "random"} {
+			sp := cfg.Phase("lemma41", obs.A("n", n), obs.A("topo", topo))
 			var tree *delta.Network
 			if topo == "butterfly" {
 				tree = delta.Butterfly(l)
@@ -40,6 +42,9 @@ func E2LemmaSurvival(cfg Config) *Table {
 			p := pattern.Uniform(n, pattern.M(0))
 			res := core.Lemma41(tree, p, l)
 			_, largest := res.LargestSet()
+			sp.SetAttr("survivors", res.Survivors)
+			sp.SetAttr("collisions", res.Collisions)
+			sp.End()
 			t.AddRow(topo, n, l, res.T, res.Initial, res.Survivors,
 				float64(res.Survivors)/float64(res.Initial),
 				1.0-float64(l)/float64(l*l),
@@ -76,6 +81,7 @@ func E3IteratedSurvival(cfg Config) *Table {
 			dMax = 4
 		}
 		for d := 1; d <= dMax; d++ {
+			sp := cfg.Phase("theorem41", obs.A("n", n), obs.A("d", d))
 			var pre perm.Perm
 			if d > 1 {
 				pre = perm.Random(n, rng)
@@ -83,6 +89,8 @@ func E3IteratedSurvival(cfg Config) *Table {
 			it.AddBlock(pre, delta.Butterfly(l))
 			an := core.Theorem41(it, 0)
 			rep := an.Reports[len(an.Reports)-1]
+			sp.SetAttr("D", len(an.D))
+			sp.End()
 			t.AddRow(n, d, len(an.D), math.Max(paperBoundFor(n, d), 0), rep.Survivors, rep.ChosenSet)
 			if len(an.D) < 2 {
 				break

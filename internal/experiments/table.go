@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"shufflenet/internal/obs"
 )
 
 // Table is one experiment's output: a titled grid plus free-form notes.
@@ -115,6 +117,16 @@ type Config struct {
 	Quick bool
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Span, when non-nil, receives child spans for the experiment's
+	// internal phases (per-size rows, per-topology passes); nil spans
+	// are inert, so runners instrument unconditionally.
+	Span *obs.Span
+}
+
+// Phase starts a child span of the config's span (nil-safe), tagging
+// it with the experiment phase name and attrs.
+func (c Config) Phase(name string, attrs ...obs.Attr) *obs.Span {
+	return c.Span.Child(name, attrs...)
 }
 
 // Runner is one registered experiment.

@@ -24,9 +24,18 @@ import (
 
 	"shufflenet/internal/bits"
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/par"
 	"shufflenet/internal/perm"
 	"shufflenet/internal/sortcheck"
+)
+
+// Halver metrics: masks exhausted per Epsilon call (added once per
+// call, never per mask) and the most recently measured ε.
+var (
+	metEpsMasks = obs.C("halver.epsilon.masks")
+	metEpsCalls = obs.C("halver.epsilon.calls")
+	metEpsLast  = obs.FG("halver.epsilon.last")
 )
 
 // CrossMatchings returns a network of `passes` levels on n = 2m wires,
@@ -81,6 +90,7 @@ func Epsilon(c *network.Network, workers int) float64 {
 	eps := 0.0
 	par.ForEachChunk(blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(prog)
+		defer bb.FlushMetrics()
 		local := 0.0
 		for b := lo; b < hi; b++ {
 			bb.LoadBlock(uint64(b))
@@ -124,6 +134,9 @@ func Epsilon(c *network.Network, workers int) float64 {
 		}
 		mu.Unlock()
 	})
+	metEpsCalls.Inc()
+	metEpsMasks.Add(int64(1) << uint(n))
+	metEpsLast.Set(eps)
 	return eps
 }
 

@@ -1,5 +1,7 @@
 package network
 
+import "shufflenet/internal/obs"
+
 // Bit-sliced 0-1 enumeration: the 2^n inputs of the 0-1 principle are
 // walked in blocks of 64, with block b covering masks 64b..64b+63.
 // Wire w of lane j carries bit w of mask 64b+j, so the six low wires
@@ -30,12 +32,22 @@ func ZeroOneBlocks(n int) (blocks int, laneMask uint64) {
 	return 1 << uint(n-6), ^uint64(0)
 }
 
+// Bit-sliced kernel metrics: EvalBits itself carries no per-call
+// atomics (an atomic add would cost several percent of a ~100ns call),
+// so BitBatch counts words locally and workers flush once per chunk
+// via FlushMetrics.
+var (
+	metBitsWords = obs.C("network.evalbits.words")
+	metBitsLanes = obs.C("network.evalbits.lanes")
+)
+
 // BitBatch is per-worker scratch for pushing 64-lane 0-1 blocks
 // through a compiled Program. It is not safe for concurrent use; give
 // each worker its own (NewBitBatch is two small allocations).
 type BitBatch struct {
 	prog  *Program
 	state []uint64
+	words int64 // 64-lane evaluations since the last FlushMetrics
 }
 
 // NewBitBatch returns scratch for evaluating 64-wide 0-1 blocks of p.
@@ -59,6 +71,7 @@ func (b *BitBatch) LoadBlock(block uint64) {
 // Eval runs the compiled program over the loaded lanes in place and
 // returns the state: state[w] holds wire w's output bit for each lane.
 func (b *BitBatch) Eval() []uint64 {
+	b.words++
 	b.prog.EvalBits(b.state)
 	return b.state
 }
@@ -81,7 +94,20 @@ func (b *BitBatch) UnsortedLanes() uint64 {
 // Run loads block, evaluates it, and returns the unsorted-lane mask:
 // bit j set means mask 64*block+j is a 0-1 witness of non-sortedness.
 func (b *BitBatch) Run(block uint64) uint64 {
+	b.words++
 	b.LoadBlock(block)
 	b.prog.EvalBits(b.state)
 	return b.UnsortedLanes()
+}
+
+// FlushMetrics publishes the words (64-lane evaluations) settled since
+// the last flush to the obs registry. Checkers call it once per worker
+// chunk (typically deferred), keeping the kernel loop free of atomics.
+func (b *BitBatch) FlushMetrics() {
+	if b.words == 0 {
+		return
+	}
+	metBitsWords.Add(b.words)
+	metBitsLanes.Add(64 * b.words)
+	b.words = 0
 }

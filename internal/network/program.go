@@ -2,6 +2,18 @@ package network
 
 import (
 	"fmt"
+
+	"shufflenet/internal/obs"
+)
+
+// Scalar-path metrics. The bit-sliced kernel (EvalBits) is deliberately
+// not counted here: one atomic per 64-lane call would cost several
+// percent of its ~100ns budget, so word counts are accumulated
+// non-atomically in BitBatch and flushed per worker chunk instead (see
+// bitslice.go and DESIGN.md §4).
+var (
+	metEvalCalls    = obs.C("network.eval.calls")
+	metEvalCompiles = obs.C("network.compile.count")
 )
 
 // Program is a compiled comparator network: the level structure
@@ -32,6 +44,7 @@ type Compilable interface {
 
 // Compile flattens a circuit-model network into a Program.
 func Compile(c *Network) *Program {
+	metEvalCompiles.Inc()
 	p := &Program{
 		n:        c.n,
 		pairs:    make([]int32, 0, 2*c.Size()),
@@ -98,6 +111,7 @@ func (p *Program) EvalInto(dst, input []int) {
 	if len(input) != p.n || len(dst) != p.n {
 		panic(fmt.Sprintf("network.Program.EvalInto: dst/input lengths %d/%d != %d wires", len(dst), len(input), p.n))
 	}
+	metEvalCalls.Inc()
 	copy(dst, input)
 	pairs := p.pairs
 	for i := 0; i+1 < len(pairs); i += 2 {

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// CLIRun bundles the per-invocation observability shared by the three
+// CLIs (snet, adversary, experiments): an optional run journal, an
+// optional metrics dump at exit, an optional pprof/expvar debug
+// server, and SIGINT flushing. Typical use:
+//
+//	run, err := obs.StartCLI("adversary", *journalPath, *metrics, *pprofAddr)
+//	...
+//	run.HandleInterrupt(nil)
+//	defer run.Finish()
+type CLIRun struct {
+	// Entry is the journal record under construction; commands add
+	// their payload with Entry.Set before Finish.
+	Entry *Entry
+
+	journal *Journal
+	metrics bool
+	reg     *Registry
+
+	mu   sync.Mutex
+	done bool
+}
+
+// StartCLI opens the journal (empty path = none), starts the debug
+// server (empty addr = none), and begins a journal entry for cmd. The
+// Default registry is published to expvar as "shufflenet" when the
+// debug server is up.
+func StartCLI(cmd, journalPath string, metrics bool, pprofAddr string) (*CLIRun, error) {
+	j, err := OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	if pprofAddr != "" {
+		Default.Expvar("shufflenet")
+		if err := ServeDebug(pprofAddr); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	return &CLIRun{
+		Entry:   NewEntry(cmd),
+		journal: j,
+		metrics: metrics,
+		reg:     Default,
+	}, nil
+}
+
+// Journaling reports whether a journal file is attached.
+func (r *CLIRun) Journaling() bool { return r != nil && r.journal != nil }
+
+// HandleInterrupt installs a SIGINT/SIGTERM handler that runs note (if
+// non-nil), marks the entry interrupted, flushes the journal, dumps
+// partial metrics to stderr, and exits with status 130 — so a Ctrl-C
+// mid-table still leaves a valid journal line behind.
+func (r *CLIRun) HandleInterrupt(note func(e *Entry)) {
+	if r == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "\n%s: %v — flushing journal and metrics\n", r.Entry.Cmd, sig)
+		if note != nil {
+			note(r.Entry)
+		}
+		r.Entry.Interrupted = true
+		r.finish(true)
+		os.Exit(130)
+	}()
+}
+
+// Finish completes the entry (wall/CPU/mem/metrics), writes it to the
+// journal, closes the journal, and dumps the registry to stderr when
+// -metrics was given. Idempotent; errors are reported to stderr rather
+// than returned, since this runs at exit.
+func (r *CLIRun) Finish() { r.finish(r.metrics) }
+
+func (r *CLIRun) finish(dumpMetrics bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.mu.Unlock()
+
+	r.Entry.Finish(r.reg)
+	if err := r.journal.Write(r.Entry); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: journal: %v\n", r.Entry.Cmd, err)
+	}
+	if err := r.journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: journal: %v\n", r.Entry.Cmd, err)
+	}
+	if dumpMetrics {
+		fmt.Fprintf(os.Stderr, "--- metrics (%s) ---\n", r.Entry.Cmd)
+		r.reg.WriteText(os.Stderr)
+	}
+}
+
+// ServeDebug starts an HTTP server on addr exposing the default mux:
+// /debug/pprof (imported above) and /debug/vars (expvar, which every
+// published registry feeds). The listener is created synchronously so
+// bad addresses fail fast; serving happens in a background goroutine
+// for the life of the process.
+func ServeDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one run-journal record: everything needed to reproduce and
+// audit a CLI or experiment invocation. Marshaled as a single JSON
+// object (one line in the journal).
+type Entry struct {
+	Time      string   `json:"time"` // RFC3339, start of run
+	Cmd       string   `json:"cmd"`
+	Args      []string `json:"args"`
+	Seed      int64    `json:"seed,omitempty"`
+	GoVersion string   `json:"go_version"`
+	OS        string   `json:"os"`
+	Arch      string   `json:"arch"`
+	Git       string   `json:"git,omitempty"` // git describe --always --dirty
+	MaxProcs  int      `json:"maxprocs"`
+
+	WallMS float64 `json:"wall_ms"`
+	CPUMS  float64 `json:"cpu_ms,omitempty"` // user+system, rusage (0 where unsupported)
+
+	Mem struct {
+		HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+		TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+		SysBytes        uint64 `json:"sys_bytes"`
+		NumGC           uint32 `json:"num_gc"`
+		MaxRSSKB        int64  `json:"max_rss_kb,omitempty"` // rusage peak (0 where unsupported)
+	} `json:"mem"`
+
+	Interrupted bool `json:"interrupted,omitempty"`
+
+	Metrics map[string]any `json:"metrics,omitempty"`
+	Spans   []spanRecord   `json:"spans,omitempty"`
+	Extra   map[string]any `json:"extra,omitempty"`
+
+	start time.Time
+}
+
+// NewEntry starts a journal entry for the named command, capturing the
+// start time, the process arguments, toolchain/platform identity, and
+// the repository's git-describe (best effort; empty when git or the
+// repo is unavailable).
+func NewEntry(cmd string) *Entry {
+	now := time.Now()
+	e := &Entry{
+		Time:      now.UTC().Format(time.RFC3339),
+		Cmd:       cmd,
+		Args:      append([]string(nil), os.Args[1:]...),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Git:       gitDescribe(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Extra:     map[string]any{},
+		start:     now,
+	}
+	return e
+}
+
+// Set records an arbitrary extra field (per-command payload such as
+// the adversary's per-block reports).
+func (e *Entry) Set(key string, value any) {
+	if e == nil {
+		return
+	}
+	e.Extra[key] = value
+}
+
+// AddSpans attaches a span tree (flattened depth-first) to the entry.
+func (e *Entry) AddSpans(root *Span) {
+	if e == nil || root == nil {
+		return
+	}
+	e.Spans = root.records("", 0, e.Spans)
+}
+
+// Finish stamps the entry with wall/CPU time, memory statistics, and a
+// snapshot of every metric in reg (nil skips the snapshot). Idempotent
+// enough for the interrupt path: a second call refreshes the readings.
+func (e *Entry) Finish(reg *Registry) {
+	if e == nil {
+		return
+	}
+	e.WallMS = float64(time.Since(e.start)) / float64(time.Millisecond)
+	e.CPUMS = cpuMillis()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.Mem.HeapAllocBytes = ms.HeapAlloc
+	e.Mem.TotalAllocBytes = ms.TotalAlloc
+	e.Mem.SysBytes = ms.Sys
+	e.Mem.NumGC = ms.NumGC
+	e.Mem.MaxRSSKB = maxRSSKB()
+	if reg != nil {
+		e.Metrics = reg.Snapshot()
+	}
+}
+
+// gitDescribe returns `git describe --always --dirty --tags` for the
+// current directory, or "" if git is unavailable, slow, or this is not
+// a work tree.
+func gitDescribe() string {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Journal appends one JSON object per line to a file. Writes are
+// mutex-guarded and flushed with the line, so an entry written from a
+// signal handler survives the subsequent exit. A nil *Journal is
+// inert.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path in append
+// mode. An empty path returns (nil, nil): the nil journal is a no-op,
+// so CLIs can pass their -journal flag through unconditionally.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Write appends the entry as one JSON line and syncs the file.
+func (j *Journal) Write(e *Entry) error {
+	if j == nil || e == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

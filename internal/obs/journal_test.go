@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+
+	reg := NewRegistry()
+	reg.Counter("test.masks").Add(65536)
+	reg.FGauge("test.eps").Set(0.125)
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEntry("testcmd")
+	e.Seed = 7
+	e.Set("blocks", []map[string]int{{"survivors": 40, "collisions": 2}})
+	root := NewSpan("run")
+	root.Child("phase").End()
+	root.End()
+	e.AddSpans(root)
+	e.Finish(reg)
+	if err := j.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	// Second entry: the journal appends.
+	e2 := NewEntry("testcmd2")
+	e2.Finish(nil)
+	if err := j.Write(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Entry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var got Entry
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, got)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2", len(lines))
+	}
+	got := lines[0]
+	if got.Cmd != "testcmd" || got.Seed != 7 {
+		t.Fatalf("cmd/seed = %s/%d", got.Cmd, got.Seed)
+	}
+	if got.GoVersion == "" || got.OS == "" || got.Arch == "" || got.Time == "" {
+		t.Fatalf("identity fields missing: %+v", got)
+	}
+	if got.WallMS < 0 {
+		t.Fatalf("wall_ms = %g", got.WallMS)
+	}
+	if got.Mem.TotalAllocBytes == 0 {
+		t.Fatal("mem stats missing")
+	}
+	if v, ok := got.Metrics["test.masks"]; !ok || v.(float64) != 65536 {
+		t.Fatalf("metrics round-trip: %v", got.Metrics)
+	}
+	if v, ok := got.Metrics["test.eps"]; !ok || v.(float64) != 0.125 {
+		t.Fatalf("fgauge round-trip: %v", got.Metrics)
+	}
+	if len(got.Spans) != 2 || got.Spans[0].Path != "run" || got.Spans[1].Path != "run/phase" {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if _, ok := got.Extra["blocks"]; !ok {
+		t.Fatalf("extra payload missing: %v", got.Extra)
+	}
+	if lines[1].Cmd != "testcmd2" {
+		t.Fatalf("second line cmd = %s", lines[1].Cmd)
+	}
+}
+
+func TestOpenJournalEmptyPath(t *testing.T) {
+	j, err := OpenJournal("")
+	if err != nil || j != nil {
+		t.Fatalf("OpenJournal(\"\") = %v, %v", j, err)
+	}
+	// The nil journal is inert.
+	if err := j.Write(NewEntry("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,483 @@
+// Package obs is the std-lib-only observability layer for shufflenet:
+// a zero-allocation metrics registry (counters, gauges, fixed-bucket
+// histograms) with expvar export, lightweight nested spans that render
+// as an indented trace tree or JSONL, and a run-journal writer that
+// records one JSON object per CLI/experiment invocation.
+//
+// Design constraints (see DESIGN.md §4):
+//
+//   - std-lib only, so the kernel packages (network, sortcheck, par)
+//     can depend on it without pulling a metrics framework into a
+//     repository whose whole point is auditable reproduction;
+//   - the hot path must stay hot: Counter.Add on the enabled path is
+//     one atomic load plus one atomic add and never allocates, and
+//     with SetEnabled(false) it is a single atomic load. The SWAR
+//     kernel itself (network.Program.EvalBits) carries no per-call
+//     atomics at all — word counts are accumulated in BitBatch and
+//     flushed per worker chunk;
+//   - handles are nil-safe: a nil *Counter, *Span, or *Journal is an
+//     inert no-op, so instrumented code needs no conditionals.
+//
+// Metric handles are cheap to create and are normally package-level
+// vars obtained once from the Default registry:
+//
+//	var evalCalls = obs.C("network.eval.calls")
+//	func f() { evalCalls.Inc() }
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricsOn is the global collection switch. It defaults to on:
+// collection is cheap enough to leave enabled, and the CLIs only
+// control whether the registry is *dumped*, not whether it fills.
+var metricsOn atomic.Bool
+
+func init() { metricsOn.Store(true) }
+
+// SetEnabled turns metric collection on or off globally and returns
+// the previous state. With collection off, every Add/Set/Observe is a
+// single atomic load and nothing else — the "no-op mode" whose cost
+// the kernel benchmarks bound.
+func SetEnabled(on bool) (prev bool) {
+	prev = metricsOn.Load()
+	metricsOn.Store(on)
+	return prev
+}
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return metricsOn.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v    atomic.Int64
+	name string
+}
+
+// Add increments the counter by n. Nil-safe; no-op when collection is
+// disabled; never allocates.
+func (c *Counter) Add(n int64) {
+	if c == nil || !metricsOn.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic int64 instantaneous value.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+}
+
+// Set stores v. Nil-safe; no-op when collection is disabled.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// FGauge is an atomic float64 instantaneous value (stored as bits).
+type FGauge struct {
+	bits atomic.Uint64
+	name string
+}
+
+// Set stores v. Nil-safe; no-op when collection is disabled.
+func (g *FGauge) Set(v float64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *FGauge) Max(v float64) {
+	if g == nil || !metricsOn.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *FGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the registered name.
+func (g *FGauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations. An
+// observation v falls in the first bucket whose upper bound satisfies
+// v <= bound; values above the last bound land in the overflow bucket.
+// Bounds are fixed at registration, so Observe is a short scan plus
+// two atomic adds and never allocates.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds; len(bounds)+1 buckets
+	counts []atomic.Int64 // one per bucket, last = overflow
+	sum    atomic.Int64
+	total  atomic.Int64
+	name   string
+}
+
+// Observe records one value. Nil-safe; no-op when collection is
+// disabled; never allocates.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !metricsOn.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Bucket is one histogram bucket in a snapshot. LE is the inclusive
+// upper bound; the overflow bucket reports LE = math.MaxInt64.
+type Bucket struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON-friendly state of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot returns the histogram state. Only buckets with nonzero
+// counts are included, keeping journal lines compact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.total.Load(), Sum: h.sum.Load()}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(math.MaxInt64)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{LE: le, N: n})
+	}
+	return s
+}
+
+// Registry holds named metrics. The zero value is not usable;
+// construct with NewRegistry or use Default. Lookup is mutex-guarded
+// (handles are meant to be fetched once, at package init or call-site
+// setup, not per operation).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	fgauges  map[string]*FGauge
+	hists    map[string]*Histogram
+	pubOnce  sync.Once
+}
+
+// Default is the process-wide registry used by the package-level
+// C/G/FG/H helpers and dumped by the CLIs' -metrics flag.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		fgauges:  map[string]*FGauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// checkFree panics if name is already registered under a different
+// metric kind in r. Caller holds r.mu.
+func (r *Registry) checkFree(name, kind string) {
+	for k, m := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"fgauge":    r.fgauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+	} {
+		if m && k != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s", name, k))
+		}
+	}
+}
+
+// Counter returns the counter with the given name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the int64 gauge with the given name, creating it if
+// needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// FGauge returns the float64 gauge with the given name, creating it if
+// needed.
+func (r *Registry) FGauge(name string) *FGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.fgauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "fgauge")
+	g := &FGauge{name: name}
+	r.fgauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it
+// with the given ascending upper bounds if needed. Re-registration
+// ignores bounds and returns the existing histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Pow2Bounds returns the upper bounds 1, 2, 4, ..., 2^maxExp — the
+// standard bucket layout for size-like quantities (surviving-set
+// sizes, chunk lengths).
+func Pow2Bounds(maxExp int) []int64 {
+	b := make([]int64, maxExp+1)
+	for i := range b {
+		b[i] = int64(1) << uint(i)
+	}
+	return b
+}
+
+// C returns (creating if needed) a counter in the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns (creating if needed) an int64 gauge in the Default
+// registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// FG returns (creating if needed) a float64 gauge in the Default
+// registry.
+func FG(name string) *FGauge { return Default.FGauge(name) }
+
+// H returns (creating if needed) a histogram in the Default registry.
+func H(name string, bounds []int64) *Histogram { return Default.Histogram(name, bounds) }
+
+// Snapshot returns all metric values: int64 for counters and gauges,
+// float64 for float gauges, HistogramSnapshot for histograms. The map
+// is fresh and safe to retain; encoding/json renders map keys sorted,
+// so journal lines are stable.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.hists))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, g := range r.fgauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteText dumps the registry as sorted "name value" lines —
+// what the CLIs print for -metrics.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		switch v := snap[n].(type) {
+		case HistogramSnapshot:
+			fmt.Fprintf(&sb, "%s count=%d sum=%d", n, v.Count, v.Sum)
+			for _, b := range v.Buckets {
+				if b.LE == math.MaxInt64 {
+					fmt.Fprintf(&sb, " +Inf:%d", b.N)
+				} else {
+					fmt.Fprintf(&sb, " le%d:%d", b.LE, b.N)
+				}
+			}
+			sb.WriteByte('\n')
+		case float64:
+			fmt.Fprintf(&sb, "%s %g\n", n, v)
+		default:
+			fmt.Fprintf(&sb, "%s %v\n", n, v)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Reset zeroes every registered metric (handles stay valid). Intended
+// for tests and for delimiting phases in long-running processes.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, g := range r.fgauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.total.Store(0)
+	}
+}
+
+// Expvar publishes the registry under the given expvar name (at most
+// once per registry; later calls are no-ops). The values then appear
+// at /debug/vars on any HTTP server using the default mux, e.g. the
+// one started by the CLIs' -pprof flag.
+func (r *Registry) Expvar(name string) {
+	r.pubOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+// cpuMillis is unavailable on non-unix platforms; journals record 0.
+func cpuMillis() float64 { return 0 }
+
+// maxRSSKB is unavailable on non-unix platforms; journals record 0.
+func maxRSSKB() int64 { return 0 }

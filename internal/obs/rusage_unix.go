@@ -1,0 +1,29 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// cpuMillis returns the process's user+system CPU time in
+// milliseconds, from getrusage(2).
+func cpuMillis() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toMS := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec)*1000 + float64(tv.Usec)/1000
+	}
+	return toMS(ru.Utime) + toMS(ru.Stime)
+}
+
+// maxRSSKB returns the peak resident set size in KiB (ru_maxrss is
+// KiB on Linux; other unixes may use bytes — the value is recorded
+// as reported).
+func maxRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
+}

@@ -11,11 +11,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"shufflenet/internal/obs"
 )
 
 // minParallel is the smallest range worth splitting across goroutines;
 // below this the scheduling overhead dominates.
 const minParallel = 2048
+
+// Runtime metrics: one or two atomic adds per parallel *invocation*
+// (never per item), so the loops themselves stay untouched. The
+// workers gauge records the fan-out of the most recent parallel
+// invocation — on a loaded run it reads as effective parallelism.
+var (
+	metChunks     = obs.C("par.chunks")
+	metSequential = obs.C("par.sequential")
+	metItems      = obs.C("par.items")
+	metWorkers    = obs.G("par.workers.last")
+)
 
 // Workers returns the effective worker count for a range of size n given
 // a requested count (0 means GOMAXPROCS). The result is at least 1 and
@@ -53,7 +66,9 @@ func ForEachGrain(n, workers, grain int, body func(i int)) {
 		return
 	}
 	w := Workers(n, workers)
+	metItems.Add(int64(n))
 	if w == 1 || n < grain {
+		metSequential.Inc()
 		for i := 0; i < n; i++ {
 			body(i)
 		}
@@ -61,6 +76,8 @@ func ForEachGrain(n, workers, grain int, body func(i int)) {
 	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	metChunks.Add(int64((n + chunk - 1) / chunk))
+	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -86,12 +103,16 @@ func ForEachChunk(n, workers int, body func(lo, hi int)) {
 		return
 	}
 	w := Workers(n, workers)
+	metItems.Add(int64(n))
 	if w == 1 {
+		metSequential.Inc()
 		body(0, n)
 		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	metChunks.Add(int64((n + chunk - 1) / chunk))
+	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -116,7 +137,9 @@ func Find(n, workers int, pred func(i int) bool) int {
 		return -1
 	}
 	w := Workers(n, workers)
+	metItems.Add(int64(n))
 	if w == 1 || n < minParallel {
+		metSequential.Inc()
 		for i := 0; i < n; i++ {
 			if pred(i) {
 				return i
@@ -127,6 +150,8 @@ func Find(n, workers int, pred func(i int) bool) int {
 	best := int64(n)
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	metChunks.Add(int64((n + chunk - 1) / chunk))
+	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -164,7 +189,9 @@ func SumInt64(n, workers int, f func(i int) int64) int64 {
 		return 0
 	}
 	w := Workers(n, workers)
+	metItems.Add(int64(n))
 	if w == 1 || n < minParallel {
+		metSequential.Inc()
 		var s int64
 		for i := 0; i < n; i++ {
 			s += f(i)
@@ -174,6 +201,8 @@ func SumInt64(n, workers int, f func(i int) int64) int64 {
 	partial := make([]int64, w)
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	metChunks.Add(int64((n + chunk - 1) / chunk))
+	metWorkers.Set(int64(w))
 	slot := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk

@@ -28,7 +28,22 @@ import (
 	"sync/atomic"
 
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/par"
+)
+
+// Checker metrics. Counts are flushed at chunk granularity on the
+// bit-sliced paths (one atomic per worker chunk), never per mask, so
+// the kernel throughput is unaffected. On the scalar oracle paths the
+// mask count is the number of masks *settled* in scan order (exact
+// when the check passes; on failure the masks at and before the
+// witness).
+var (
+	metMasks      = obs.C("sortcheck.zeroone.masks")
+	metWitnesses  = obs.C("sortcheck.zeroone.witnesses")
+	metEarlyExits = obs.C("sortcheck.zeroone.early_exits")
+	metPerms      = obs.C("sortcheck.perm.inputs")
+	metFracTrials = obs.C("sortcheck.sortedfrac.trials")
 )
 
 // Evaluator is the view of a comparator network this package needs:
@@ -92,6 +107,7 @@ func ZeroOne(n int, ev Evaluator, workers int) (ok bool, witness []int) {
 		if ok {
 			return true, nil
 		}
+		metWitnesses.Inc()
 		return false, ZeroOneInput(mask, n)
 	}
 	return ZeroOneScalar(n, ev, workers)
@@ -109,8 +125,11 @@ func ZeroOneScalar(n int, ev Evaluator, workers int) (ok bool, witness []int) {
 		return !IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n)))
 	})
 	if bad < 0 {
+		metMasks.Add(int64(total))
 		return true, nil
 	}
+	metMasks.Add(int64(bad) + 1)
+	metWitnesses.Inc()
 	return false, ZeroOneInput(uint64(bad), n)
 }
 
@@ -119,13 +138,19 @@ func ZeroOneScalar(n int, ev Evaluator, workers int) (ok bool, witness []int) {
 // mask (matching the scalar path's witness exactly) or ok = true.
 func zeroOneBits(n int, p *network.Program, workers int) (firstBad uint64, ok bool) {
 	blocks, laneMask := network.ZeroOneBlocks(n)
+	lanes := int64(mathbits.OnesCount64(laneMask))
 	best := int64(blocks)
 	par.ForEachChunk(blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(p)
+		defer bb.FlushMetrics()
+		processed := int64(0)
+		defer func() { metMasks.Add(processed * lanes) }()
 		for b := lo; b < hi; b++ {
 			if int64(b) >= atomic.LoadInt64(&best) {
+				metEarlyExits.Inc()
 				return // a smaller failing block already found
 			}
+			processed++
 			if bb.Run(uint64(b))&laneMask == 0 {
 				continue
 			}
@@ -141,7 +166,9 @@ func zeroOneBits(n int, p *network.Program, workers int) (firstBad uint64, ok bo
 	if best == int64(blocks) {
 		return 0, true
 	}
-	bad := network.NewBitBatch(p).Run(uint64(best)) & laneMask
+	bb := network.NewBitBatch(p)
+	bad := bb.Run(uint64(best)) & laneMask
+	bb.FlushMetrics()
 	return uint64(best)*64 + uint64(mathbits.TrailingZeros64(bad)), false
 }
 
@@ -161,13 +188,17 @@ func ZeroOneFraction(n int, ev Evaluator, workers int) float64 {
 	var good int64
 	par.ForEachChunk(blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(p)
+		defer bb.FlushMetrics()
 		var g int64
 		for b := lo; b < hi; b++ {
 			g += int64(lanes - mathbits.OnesCount64(bb.Run(uint64(b))&laneMask))
 		}
 		atomic.AddInt64(&good, g)
 	})
-	return float64(good) / float64(int64(1)<<uint(n))
+	total := int64(1) << uint(n)
+	metMasks.Add(total)
+	metWitnesses.Add(total - good)
+	return float64(good) / float64(total)
 }
 
 // ZeroOneFractionScalar is the scalar-enumeration sorted fraction (the
@@ -183,6 +214,8 @@ func ZeroOneFractionScalar(n int, ev Evaluator, workers int) float64 {
 		}
 		return 0
 	})
+	metMasks.Add(int64(total))
+	metWitnesses.Add(int64(total) - good)
 	return float64(good) / float64(total)
 }
 
@@ -205,7 +238,9 @@ func Exhaustive(n int, ev Evaluator) (ok bool, witness []int) {
 	p := compiled(n, ev)
 	out := make([]int, n)
 	witness = nil
+	checked := int64(0)
 	permute(data, func(in []int) bool {
+		checked++
 		if p != nil {
 			p.EvalInto(out, in)
 		} else {
@@ -217,6 +252,10 @@ func Exhaustive(n int, ev Evaluator) (ok bool, witness []int) {
 		}
 		return true
 	})
+	metPerms.Add(checked)
+	if witness != nil {
+		metWitnesses.Inc()
+	}
 	return witness == nil, witness
 }
 
@@ -240,9 +279,12 @@ func RandomPerms(n, trials int, ev Evaluator, rng *rand.Rand) (ok bool, witness 
 			out = ev.Eval(in)
 		}
 		if !IsSorted(out) {
+			metPerms.Add(int64(t) + 1)
+			metWitnesses.Inc()
 			return false, append([]int(nil), in...)
 		}
 	}
+	metPerms.Add(int64(trials))
 	return true, nil
 }
 
@@ -264,6 +306,7 @@ func SortedFraction(n, trials int, ev Evaluator, seed int64, workers int) float6
 		counts[i%w]++
 	}
 	p := compiled(n, ev)
+	metFracTrials.Add(int64(trials))
 	var good int64
 	par.ForEachChunk(w, w, func(lo, hi int) {
 		in := make([]int, n)
@@ -337,8 +380,12 @@ func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
 	}
 	var out []uint64
 	blocks, laneMask := network.ZeroOneBlocks(n)
+	lanes := int64(mathbits.OnesCount64(laneMask))
 	bb := network.NewBitBatch(p)
+	defer bb.FlushMetrics()
+	scanned := int64(0)
 	for b := 0; b < blocks && len(out) < limit; b++ {
+		scanned++
 		bad := bb.Run(uint64(b)) & laneMask
 		for bad != 0 && len(out) < limit {
 			j := mathbits.TrailingZeros64(bad)
@@ -346,6 +393,8 @@ func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
 			bad &= bad - 1
 		}
 	}
+	metMasks.Add(scanned * lanes)
+	metWitnesses.Add(int64(len(out)))
 	return out
 }
 
@@ -357,11 +406,14 @@ func UnsortedZeroOneWitnessesScalar(n int, ev Evaluator, limit int) []uint64 {
 	}
 	var out []uint64
 	total := uint64(1) << uint(n)
-	for mask := uint64(0); mask < total && len(out) < limit; mask++ {
+	mask := uint64(0)
+	for ; mask < total && len(out) < limit; mask++ {
 		if !IsSorted(ev.Eval(ZeroOneInput(mask, n))) {
 			out = append(out, mask)
 		}
 	}
+	metMasks.Add(int64(mask))
+	metWitnesses.Add(int64(len(out)))
 	return out
 }
 
