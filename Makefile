@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench bench-json fuzz experiments
+.PHONY: build test check check-ctx vet race bench bench-json fuzz experiments
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
 BENCH_JSON ?= BENCH_PR2.json
@@ -9,17 +9,25 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 5m ./...
 
 # check is the full gate: static analysis, the race detector in short
 # mode, and the tier-1 build+test pass.
 check: vet race build test
+
+# check-ctx stresses the cancellation paths: the ctx-aware par/core/
+# sortcheck/halver entry points and the CLI -timeout flows, under the
+# race detector, twice (cancellation is inherently racy — a second run
+# shifts the interleavings).
+check-ctx:
+	$(GO) test -race -count=2 -timeout 5m -run 'Ctx|Cancel|Canceled|Timeout' \
+		./internal/par ./internal/core ./internal/sortcheck ./internal/halver .
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .

@@ -234,6 +234,110 @@ func TestCLIRunJournal(t *testing.T) {
 	}
 }
 
+// journalEntry is the subset of the run-journal schema the robustness
+// tests assert on. Partial's completed/skipped lists may be JSON null
+// when empty, so the field is a loose map.
+type journalEntry struct {
+	Cmd      string         `json:"cmd"`
+	TimedOut bool           `json:"timed_out"`
+	Partial  map[string]any `json:"partial"`
+}
+
+func lastJournalEntry(t *testing.T, path string) journalEntry {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var e journalEntry
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &e); err != nil {
+		t.Fatalf("journal line is not valid JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	return e
+}
+
+func TestCLIExperimentsRunParsing(t *testing.T) {
+	// Trailing and doubled commas (and stray spaces) in -run must be
+	// tolerated, not rejected as unknown experiments.
+	out, err := run(t, "experiments", "-quick", "-run", "E1, E9,")
+	if err != nil {
+		t.Fatalf("experiments rejected padded -run list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"E1 —", "E9 —"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// An all-empty list is still an error.
+	if _, err := run(t, "experiments", "-run", ", ,"); err == nil {
+		t.Fatal("empty -run list accepted")
+	}
+}
+
+// The three -timeout tests drive a deadline through each CLI: the run
+// must exit 0 (a deadline is an orderly stop, not a failure), and the
+// journal entry must be marked timed_out with partial progress fields.
+
+func TestCLIAdversaryTimeout(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	out, err := run(t, "adversary", "-n", "16384", "-blocks", "2",
+		"-topology", "random", "-timeout", "1ms", "-journal", journal)
+	if err != nil {
+		t.Fatalf("timed-out adversary exited nonzero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "run canceled") {
+		t.Fatalf("missing cancellation report:\n%s", out)
+	}
+	e := lastJournalEntry(t, journal)
+	if e.Cmd != "adversary" || !e.TimedOut {
+		t.Fatalf("journal not marked timed_out: %+v", e)
+	}
+	if v, ok := e.Partial["survivors"].(float64); !ok || v <= 0 {
+		t.Fatalf("partial survivors missing: %v", e.Partial)
+	}
+	if _, ok := e.Partial["blocks_done"]; !ok {
+		t.Fatalf("partial blocks_done missing: %v", e.Partial)
+	}
+}
+
+func TestCLISnetCheckTimeout(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	out, err := run(t, "snet", "-net", "mergeexchange", "-n", "24",
+		"-op", "check", "-timeout", "1ms", "-journal", journal)
+	if err != nil {
+		t.Fatalf("timed-out check exited nonzero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "check canceled") || strings.Contains(out, "sorting network:") {
+		t.Fatalf("canceled check must print no verdict:\n%s", out)
+	}
+	e := lastJournalEntry(t, journal)
+	if !e.TimedOut {
+		t.Fatalf("journal not marked timed_out: %+v", e)
+	}
+	if op, _ := e.Partial["op"].(string); !strings.HasPrefix(op, "sortcheck.ZeroOne") {
+		t.Fatalf("partial op = %v, want a sortcheck scan: %v", e.Partial["op"], e.Partial)
+	}
+}
+
+func TestCLIExperimentsTimeout(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	out, err := run(t, "experiments", "-run", "E3", "-timeout", "1ms", "-journal", journal)
+	if err != nil {
+		t.Fatalf("timed-out experiments exited nonzero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "TRUNCATED") {
+		t.Fatalf("cut table missing the TRUNCATED note:\n%s", out)
+	}
+	e := lastJournalEntry(t, journal)
+	if !e.TimedOut {
+		t.Fatalf("journal not marked timed_out: %+v", e)
+	}
+	if tr, _ := e.Partial["truncated"].(string); tr != "E3" {
+		t.Fatalf("partial truncated = %v, want E3: %v", e.Partial["truncated"], e.Partial)
+	}
+}
+
 func TestCLIAdversarySaveAndCheck(t *testing.T) {
 	dir := t.TempDir()
 	netPath := filepath.Join(dir, "net.txt")

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	adversary -n 256 -blocks 2 [-topology butterfly|random|bitonic]
-//	          [-seed N] [-k K] [-v]
+//	          [-seed N] [-k K] [-v] [-timeout 30s]
 //	          [-journal run.jsonl] [-metrics] [-pprof ADDR]
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
@@ -35,9 +35,17 @@
 // collisions charged) and the certificate summary; -metrics dumps the
 // metric registry (block counts, survivor histogram, lemma counters)
 // to stderr at exit; -pprof serves /debug/pprof and /debug/vars.
+//
+// Robustness: -timeout bounds the run; the deadline and SIGINT share
+// one cancellation path, so either way the journal entry is flushed
+// with the blocks completed so far (marked timed_out or interrupted,
+// with the partial-progress fields). A deadline exit is status 0; an
+// interrupt exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,6 +56,7 @@ import (
 	"shufflenet/internal/delta"
 	"shufflenet/internal/network"
 	"shufflenet/internal/obs"
+	"shufflenet/internal/par"
 	"shufflenet/internal/perm"
 )
 
@@ -65,6 +74,7 @@ func main() {
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); partial per-block results are kept")
 	flag.Parse()
 
 	var err error
@@ -74,7 +84,7 @@ func main() {
 		os.Exit(1)
 	}
 	cli.Entry.Seed = *seed
-	cli.HandleInterrupt(nil)
+	ctx := cli.SetupContext(*timeout)
 	defer cli.Finish()
 
 	if *check != "" {
@@ -88,7 +98,7 @@ func main() {
 	saveCert = *save
 
 	if *file != "" {
-		runOnFile(*file, *blockL, *k, *verbose)
+		runOnFile(ctx, *file, *blockL, *k, *verbose)
 		cli.Finish()
 		return
 	}
@@ -135,9 +145,12 @@ func main() {
 	cli.Entry.Set("depth", it.Depth())
 
 	sp := obs.NewSpan("theorem41", obs.A("n", *n), obs.A("blocks", *blocks))
-	an := core.Theorem41(it, *k)
+	an, terr := core.Theorem41Ctx(ctx, it, *k)
 	sp.End()
 	cli.Entry.AddSpans(sp)
+	if terr != nil {
+		reportCanceled(an, terr, *verbose)
+	}
 	journalAnalysis(an)
 
 	fmt.Printf("adversary: k=%d\n", an.K)
@@ -247,9 +260,30 @@ func runCheck(certPath, netPath string) {
 	fmt.Printf("certificate %s verified against %s: the circuit is NOT a sorting network\n", certPath, netPath)
 }
 
+// reportCanceled journals the partial progress of a canceled adversary
+// run (per-block reports up to the cut, the surviving-set size, and
+// the ErrCanceled fields), prints an honest truncated summary, and
+// exits through the shared path: 0 after a deadline, 130 after ^C. No
+// certificate is derived — D is noncolliding only for the prefix of
+// the network actually processed.
+func reportCanceled(an *core.Analysis, err error, verbose bool) {
+	var ce *par.ErrCanceled
+	if errors.As(err, &ce) {
+		cli.Entry.SetPartial(ce.Fields())
+	}
+	journalAnalysis(an)
+	cli.Entry.Set("certificate", false)
+	printReports(an.Reports, verbose)
+	fmt.Printf("run canceled (%v) after %d completed blocks; surviving set so far: %d wires\n",
+		err, len(an.Reports), len(an.D))
+	fmt.Println("(no certificate: the analysis covers only a prefix of the network)")
+	cli.Finish()
+	os.Exit(cli.ExitCode())
+}
+
 // runOnFile loads a circuit, recovers its iterated RDN structure, and
 // runs the full pipeline against the loaded circuit.
-func runOnFile(path string, l, k int, verbose bool) {
+func runOnFile(ctx context.Context, path string, l, k int, verbose bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err.Error())
@@ -277,9 +311,12 @@ func runOnFile(path string, l, k int, verbose bool) {
 	cli.Entry.Set("blocks", it.Blocks())
 
 	sp := obs.NewSpan("theorem41", obs.A("n", n), obs.A("blocks", it.Blocks()))
-	an := core.Theorem41(it, k)
+	an, terr := core.Theorem41Ctx(ctx, it, k)
 	sp.End()
 	cli.Entry.AddSpans(sp)
+	if terr != nil {
+		reportCanceled(an, terr, verbose)
+	}
 	journalAnalysis(an)
 
 	printReports(an.Reports, verbose)
@@ -301,6 +338,9 @@ func runOnFile(path string, l, k int, verbose bool) {
 	saveCertificate(cert)
 }
 
+// fail reports a fatal error and exits 1. Finish tears down the whole
+// run — journal flush, -pprof listener close, signal-watcher release —
+// so no goroutine or socket outlives an error exit.
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "adversary:", msg)
 	if cli != nil {

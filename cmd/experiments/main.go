@@ -5,16 +5,24 @@
 // Usage:
 //
 //	experiments [-run E4[,E5,...]] [-quick] [-seed N] [-csv] [-workers N]
-//	            [-journal run.jsonl] [-metrics] [-trace] [-pprof ADDR]
+//	            [-timeout 30s] [-journal run.jsonl] [-metrics] [-trace]
+//	            [-pprof ADDR]
 //
-// With no -run flag every experiment is executed in order.
+// With no -run flag every experiment is executed in order. Empty
+// fields in -run (trailing or doubled commas) are ignored.
 //
 // Observability: -journal appends one JSON line per invocation (args,
 // seed, timings, peak memory, final metrics, per-experiment spans);
 // -metrics dumps the metric registry to stderr at exit; -trace prints
 // the span tree (per-experiment phase timings) to stderr; -pprof
-// serves /debug/pprof and /debug/vars on ADDR. SIGINT flushes the
-// journal with the experiments completed so far.
+// serves /debug/pprof and /debug/vars on ADDR.
+//
+// Robustness: -timeout bounds the sweep; the deadline and SIGINT share
+// one cancellation path, so either way the run degrades to "tables
+// completed so far" — the table being cut is rendered truncated with a
+// note, later experiments are skipped, and the journal entry is marked
+// timed_out or interrupted with the completed/truncated/skipped IDs
+// under "partial". A deadline exit is status 0; an interrupt exits 130.
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	trace := flag.Bool("trace", false, "print the span tree (phase timings) to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	timeout := flag.Duration("timeout", 0, "stop the sweep after this duration (0 = none); completed tables are kept")
 	flag.Parse()
 
 	var runners []experiments.Runner
@@ -45,7 +54,11 @@ func main() {
 		runners = experiments.All()
 	} else {
 		for _, id := range strings.Split(*run, ",") {
-			r := experiments.Find(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue // tolerate trailing / doubled commas: -run "E1, E2,"
+			}
+			r := experiments.Find(id)
 			if r == nil {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", id)
 				for _, a := range experiments.All() {
@@ -54,6 +67,10 @@ func main() {
 				os.Exit(2)
 			}
 			runners = append(runners, *r)
+		}
+		if len(runners) == 0 {
+			fmt.Fprintln(os.Stderr, "-run selected no experiments")
+			os.Exit(2)
 		}
 	}
 
@@ -64,35 +81,52 @@ func main() {
 	}
 	cli.Entry.Seed = *seed
 	cli.Entry.Set("quick", *quick)
+	ctx := cli.SetupContext(*timeout)
 
 	root := obs.NewSpan("experiments")
 	timings := map[string]float64{} // experiment ID → milliseconds
+	var completed, skipped []string
+	truncated := ""
 	finish := func() {
 		root.End()
 		cli.Entry.Set("experiments", timings)
 		cli.Entry.AddSpans(root)
+		if ctx.Err() != nil {
+			cli.Entry.SetPartial(map[string]any{
+				"completed": completed,
+				"truncated": truncated,
+				"skipped":   skipped,
+			})
+		}
 		if *trace {
 			fmt.Fprintln(os.Stderr, "--- spans (experiments) ---")
 			root.WriteTree(os.Stderr)
 		}
 		cli.Finish()
 	}
-	cli.HandleInterrupt(func(e *obs.Entry) {
-		root.End()
-		e.Set("experiments", timings)
-		e.AddSpans(root)
-	})
 
 	for i, r := range runners {
+		if ctx.Err() != nil {
+			for _, rest := range runners[i:] {
+				skipped = append(skipped, rest.ID)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: canceled (%v); skipping %v\n", ctx.Err(), skipped)
+			break
+		}
 		if i > 0 {
 			fmt.Println()
 		}
-		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Ctx: ctx}
 		cfg.Span = root.Child(r.ID, obs.A("brief", r.Brief))
 		start := time.Now()
 		tab := r.Run(cfg)
 		cfg.Span.End()
 		timings[r.ID] = float64(cfg.Span.Duration()) / float64(time.Millisecond)
+		if ctx.Err() != nil {
+			truncated = r.ID // table rendered below, but cut short mid-sweep
+		} else {
+			completed = append(completed, r.ID)
+		}
 		var err error
 		if *csv {
 			err = tab.RenderCSV(os.Stdout)
@@ -107,4 +141,5 @@ func main() {
 		}
 	}
 	finish()
+	os.Exit(cli.ExitCode())
 }

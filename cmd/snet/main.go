@@ -23,7 +23,9 @@
 // Operations:
 //
 //	info   print wires/depth/size and structural facts (default)
-//	check  verify sortedness: 0-1 principle for n <= 20, else random
+//	check  verify sortedness: 0-1 principle for n <= 24, else random;
+//	       -timeout bounds the scan (canceled checks journal partial
+//	       progress and print no verdict)
 //	eval   run on -input "3,1,2,..." (or a random permutation)
 //	dot    emit Graphviz
 //	ascii  draw a Knuth-style wire diagram (small networks)
@@ -35,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,6 +51,7 @@ import (
 	"shufflenet/internal/netbuild"
 	"shufflenet/internal/network"
 	"shufflenet/internal/obs"
+	"shufflenet/internal/par"
 	"shufflenet/internal/perm"
 	"shufflenet/internal/shuffle"
 	"shufflenet/internal/sortcheck"
@@ -64,6 +68,7 @@ func main() {
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	timeout := flag.Duration("timeout", 0, "cancel -op check after this duration (0 = none)")
 	flag.Parse()
 
 	var err error
@@ -74,7 +79,7 @@ func main() {
 	cli.Entry.Seed = *seed
 	cli.Entry.Set("family", *family)
 	cli.Entry.Set("op", *op)
-	cli.HandleInterrupt(nil)
+	ctx := cli.SetupContext(*timeout)
 	defer cli.Finish()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -156,9 +161,12 @@ func main() {
 		}
 		width := *n
 		sp := obs.NewSpan("check", obs.A("n", width))
-		if width <= 20 {
-			ok, w := sortcheck.ZeroOne(width, ev, 0)
+		if width <= maxExhaustiveCheck {
+			ok, w, cerr := sortcheck.ZeroOneCtx(ctx, width, ev, 0)
 			sp.End()
+			if cerr != nil {
+				reportCanceled(sp, cerr)
+			}
 			cli.Entry.Set("sorts", ok)
 			cli.Entry.Set("method", "zero-one")
 			report(ok, w, "0-1 principle, exhaustive")
@@ -219,6 +227,29 @@ func main() {
 	}
 }
 
+// maxExhaustiveCheck is the widest network -op check verifies by the
+// exhaustive 0-1 principle. The bit-sliced kernel makes 2^24 inputs a
+// seconds-scale job; beyond that, check falls back to randomized
+// testing (which cannot prove sortedness). With -timeout the
+// exhaustive scan is abortable, so the larger cap is safe even in
+// scripted runs.
+const maxExhaustiveCheck = 24
+
+// reportCanceled journals a canceled check (partial mask counts from
+// the *par.ErrCanceled) and exits through the shared path: 0 after a
+// deadline, 130 after ^C. A canceled check proves nothing either way,
+// so no verdict is printed.
+func reportCanceled(sp *obs.Span, err error) {
+	var ce *par.ErrCanceled
+	if errors.As(err, &ce) {
+		cli.Entry.SetPartial(ce.Fields())
+	}
+	cli.Entry.AddSpans(sp)
+	fmt.Printf("check canceled (%v); no verdict\n", err)
+	cli.Finish()
+	os.Exit(cli.ExitCode())
+}
+
 type ev struct {
 	c *network.Network
 	r *network.Register
@@ -231,6 +262,15 @@ func (e *ev) Eval(in []int) []int {
 		return e.r.Eval(in)
 	}
 	return e.c.Eval(in)
+}
+
+// Compile routes the exhaustive 0-1 check onto the bit-sliced kernel
+// (64 masks per pass), which is what makes the n <= 24 cap practical.
+func (e *ev) Compile() *network.Program {
+	if e.r != nil {
+		return e.r.Compile()
+	}
+	return e.c.Compile()
 }
 
 func report(ok bool, w []int, method string) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"shufflenet/internal/delta"
 	"shufflenet/internal/obs"
+	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 	"shufflenet/internal/perm"
 )
@@ -81,6 +83,17 @@ func (inc *Incremental) Dead() bool { return inc.dead }
 // for the block. The caller must feed the same blocks, in the same
 // order, to the network being argued about.
 func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
+	rep, _ := inc.AddBlockCtx(context.Background(), pre, f)
+	return rep
+}
+
+// AddBlockCtx is AddBlock under a context. On cancellation the block
+// is abandoned: the pattern, D, and reports are left exactly as after
+// the last completed block (so Analysis() stays honest), and the
+// returned *par.ErrCanceled records that state. The receiver is then
+// mid-block (its slot bookkeeping has already absorbed pre) and must
+// not be advanced further — read it out and drop it.
+func (inc *Incremental) AddBlockCtx(ctx context.Context, pre perm.Perm, f delta.Forest) (BlockReport, error) {
 	n := inc.n
 	if f.Slots() != n {
 		panic(fmt.Sprintf("core.Incremental: forest covers %d slots, want %d", f.Slots(), n))
@@ -110,7 +123,15 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 	collisions := 0
 	for _, tree := range f.Trees() {
 		m := tree.Inputs()
-		res := Lemma41(tree, pSlots[off:off+m].Clone(), inc.k)
+		res, err := Lemma41Ctx(ctx, tree, pSlots[off:off+m].Clone(), inc.k)
+		if err != nil {
+			return BlockReport{}, &par.ErrCanceled{
+				Op:         "core.Incremental.AddBlock",
+				Cause:      ctx.Err(),
+				BlocksDone: len(inc.reports),
+				Survivors:  len(inc.D()),
+			}
+		}
 		collisions += res.Collisions
 		if res.T > tMax {
 			tMax = res.T
@@ -164,7 +185,7 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 		rep.After = 0
 		inc.reports[len(inc.reports)-1] = rep
 		metBlockSurvivors.Observe(0)
-		return rep
+		return rep, nil
 	}
 	metBlockSurvivors.Observe(int64(bestLen))
 
@@ -177,7 +198,7 @@ func (inc *Incremental) AddBlock(pre perm.Perm, f delta.Forest) BlockReport {
 		next[o] = inc.originAt[s]
 	}
 	inc.originAt = next
-	return rep
+	return rep, nil
 }
 
 // Analysis snapshots the adversary's state in the Theorem41 result

@@ -22,10 +22,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"shufflenet/internal/delta"
 	"shufflenet/internal/obs"
+	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 )
 
@@ -100,6 +102,17 @@ func (r *LemmaResult) LargestSet() (int, []int) {
 // together contain at least |A|·(1 − l/k²) of the wires of the original
 // [M_0]-set A.
 func Lemma41(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
+	res, _ := Lemma41Ctx(context.Background(), d, p, k)
+	return res
+}
+
+// Lemma41Ctx is Lemma41 under a context. The recursion probes the
+// context's done channel once per tree node (never inside a node's
+// comparator loops), which a Background context compiles down to a nil
+// check. On cancellation the induction's intermediate state is
+// discarded — a half-built refinement proves nothing — and a
+// *par.ErrCanceled is returned with a nil result.
+func Lemma41Ctx(ctx context.Context, d *delta.Network, p pattern.Pattern, k int) (*LemmaResult, error) {
 	if len(p) != d.Inputs() {
 		panic(fmt.Sprintf("core.Lemma41: pattern width %d != %d inputs", len(p), d.Inputs()))
 	}
@@ -114,14 +127,17 @@ func Lemma41(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
 	metLemmaTrees.Inc()
 	metLemmaWires.Add(int64(d.Inputs()))
 	metLemmaLevels.Add(int64(d.Levels()))
-	res := lemmaRec(d, p, k)
+	res := lemmaRec(d, p, k, ctx.Done())
+	if res == nil {
+		return nil, &par.ErrCanceled{Op: "core.Lemma41", Cause: ctx.Err()}
+	}
 	metLemmaCollisions.Add(int64(res.Collisions))
 	// Paper invariant: |B| >= |A| - l*|A|/k².
 	if float64(res.Survivors) < float64(res.Initial)-float64(d.Levels()*res.Initial)/float64(k*k)-1e-9 {
 		panic(fmt.Sprintf("core.Lemma41: survival bound violated: |B|=%d |A|=%d l=%d k=%d",
 			res.Survivors, res.Initial, d.Levels(), k))
 	}
-	return res
+	return res, nil
 }
 
 // parallelSubtree is the sub-network size above which the two
@@ -132,8 +148,19 @@ func Lemma41(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
 const parallelSubtree = 1 << 11
 
 // lemmaRec is the induction of Lemma 4.1. All slot indices in the
-// result are local to d.
-func lemmaRec(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
+// result are local to d. done is the caller's cancellation channel
+// (nil when the run is not cancelable); a closed done makes the whole
+// recursion unwind with a nil result. One probe per node keeps the
+// per-comparator loops branch-free, and a nil done is a single pointer
+// check — the non-cancelable path is unchanged.
+func lemmaRec(d *delta.Network, p pattern.Pattern, k int, done <-chan struct{}) *LemmaResult {
+	if done != nil {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+	}
 	k2 := k * k
 	t := func(l int) int { return k*k2 + l*k2 }
 
@@ -163,16 +190,22 @@ func lemmaRec(d *delta.Network, p pattern.Pattern, k int) *LemmaResult {
 	// ties are broken deterministically).
 	var st0, st1 *LemmaResult
 	if h >= parallelSubtree {
-		done := make(chan struct{})
+		joined := make(chan struct{})
 		go func() {
-			defer close(done)
-			st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k)
+			defer close(joined)
+			st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k, done)
 		}()
-		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k)
-		<-done
+		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k, done)
+		<-joined
 	} else {
-		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k)
-		st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k)
+		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k, done)
+		if st0 == nil {
+			return nil
+		}
+		st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k, done)
+	}
+	if st0 == nil || st1 == nil {
+		return nil // canceled somewhere below; unwind
 	}
 
 	// setOf[side][slot] = index of the set containing the slot, or -1.

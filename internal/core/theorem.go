@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"shufflenet/internal/delta"
+	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 )
 
@@ -46,14 +48,35 @@ type Analysis struct {
 // ρ). k is the averaging parameter; k <= 0 selects the paper's choice
 // k = lg n.
 func Theorem41(it *delta.Iterated, k int) *Analysis {
+	an, _ := Theorem41Ctx(context.Background(), it, k)
+	return an
+}
+
+// Theorem41Ctx is Theorem41 under a context. On cancellation it
+// returns the analysis as of the last *completed* block — the pattern
+// and set D are exactly what the adversary holds at that point, so the
+// partial reports are honest telemetry, not an approximation — plus a
+// *par.ErrCanceled whose BlocksDone and Survivors record the cut
+// point. The in-flight block is discarded (Lemma 4.1's induction has
+// no meaningful half-state). Callers must not derive a certificate
+// from a canceled run: D is noncolliding only for the prefix of the
+// network actually processed.
+func Theorem41Ctx(ctx context.Context, it *delta.Iterated, k int) (*Analysis, error) {
 	inc := NewIncremental(it.Slots(), k)
 	for b := 0; b < it.Blocks(); b++ {
-		inc.AddBlock(it.Pre(b), it.Block(b))
+		if _, err := inc.AddBlockCtx(ctx, it.Pre(b), it.Block(b)); err != nil {
+			return inc.Analysis(), &par.ErrCanceled{
+				Op:         "core.Theorem41",
+				Cause:      ctx.Err(),
+				BlocksDone: b,
+				Survivors:  len(inc.D()),
+			}
+		}
 		if inc.Dead() {
 			break
 		}
 	}
-	return inc.Analysis()
+	return inc.Analysis(), nil
 }
 
 // paperBound returns n / lg^{4d} n (Theorem 4.1's guaranteed survival

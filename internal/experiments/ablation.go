@@ -63,13 +63,20 @@ func A1KSweep(cfg Config) *Table {
 			if k < 2 {
 				continue
 			}
-			an := core.Theorem41(it, k)
+			an, err := core.Theorem41Ctx(cfg.Context(), it, k)
+			if err != nil {
+				t.NoteCanceled(err)
+				return t
+			}
 			tl := k*k*k + l*k*k
 
 			inc := core.NewIncremental(n, k)
 			blocks := 0
 			for _, b := range stack {
-				inc.AddBlock(b.pre, delta.NewForest(b.tree))
+				if _, err := inc.AddBlockCtx(cfg.Context(), b.pre, delta.NewForest(b.tree)); err != nil {
+					t.NoteCanceled(err)
+					return t
+				}
 				if len(inc.D()) < 2 {
 					break
 				}

@@ -40,7 +40,12 @@ func E2LemmaSurvival(cfg Config) *Table {
 				tree = delta.Random(l, 1.0, rng)
 			}
 			p := pattern.Uniform(n, pattern.M(0))
-			res := core.Lemma41(tree, p, l)
+			res, err := core.Lemma41Ctx(cfg.Context(), tree, p, l)
+			if err != nil {
+				sp.End()
+				t.NoteCanceled(err)
+				return t
+			}
 			_, largest := res.LargestSet()
 			sp.SetAttr("survivors", res.Survivors)
 			sp.SetAttr("collisions", res.Collisions)
@@ -87,7 +92,12 @@ func E3IteratedSurvival(cfg Config) *Table {
 				pre = perm.Random(n, rng)
 			}
 			it.AddBlock(pre, delta.Butterfly(l))
-			an := core.Theorem41(it, 0)
+			an, err := core.Theorem41Ctx(cfg.Context(), it, 0)
+			if err != nil {
+				sp.End()
+				t.NoteCanceled(err)
+				return t
+			}
 			rep := an.Reports[len(an.Reports)-1]
 			sp.SetAttr("D", len(an.D))
 			sp.End()
@@ -127,7 +137,12 @@ func E4Certificates(cfg Config) *Table {
 		it := delta.NewIterated(n)
 		it.AddBlock(nil, delta.Butterfly(l))
 		it.AddBlock(perm.Random(n, rng), delta.Butterfly(l))
-		t.Rows = append(t.Rows, certRow("butterfly×2", n, it))
+		row, err := certRow(cfg, "butterfly×2", n, it)
+		if err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
+		t.Rows = append(t.Rows, row)
 
 		// (b) truncated bitonic: the first 2 stages of Batcher's sorter
 		// (an iterated RDN by construction).
@@ -138,26 +153,39 @@ func E4Certificates(cfg Config) *Table {
 			itb.AddBlock(prev.Compose(rho), delta.BitonicStage(l, s))
 			prev = rho
 		}
-		t.Rows = append(t.Rows, certRow("bitonic/2-stages", n, itb))
+		row, err = certRow(cfg, "bitonic/2-stages", n, itb)
+		if err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
+		t.Rows = append(t.Rows, row)
 
 		// (c) random full RDN stack.
 		itr := delta.NewIterated(n)
 		for b := 0; b < 2; b++ {
 			itr.AddBlock(perm.Random(n, rng), delta.Random(l, 1.0, rng))
 		}
-		t.Rows = append(t.Rows, certRow("random×2", n, itr))
+		row, err = certRow(cfg, "random×2", n, itr)
+		if err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	t.Note("certificate = inputs π, π′ differing in adjacent values m, m+1 on two wires the network never compares; verified = replay through the flattened circuit confirms identical routing and unsorted output")
 	return t
 }
 
-func certRow(name string, n int, it *delta.Iterated) []string {
-	an := core.Theorem41(it, 0)
+func certRow(cfg Config, name string, n int, it *delta.Iterated) ([]string, error) {
+	an, cerr := core.Theorem41Ctx(cfg.Context(), it, 0)
+	if cerr != nil {
+		return nil, cerr
+	}
 	cert, err := an.Certificate()
 	row := &Table{}
 	if err != nil {
 		row.AddRow(name, n, it.Blocks(), it.Depth(), len(an.D), "none", "-", "-", "-")
-		return row.Rows[0]
+		return row.Rows[0], nil
 	}
 	circ, _ := it.ToNetwork()
 	verified := "FAIL"
@@ -166,7 +194,7 @@ func certRow(name string, n int, it *delta.Iterated) []string {
 	}
 	row.AddRow(name, n, it.Blocks(), it.Depth(), len(an.D), "yes", verified,
 		cert.M, pair(cert.W0, cert.W1))
-	return row.Rows[0]
+	return row.Rows[0], nil
 }
 
 // E5TruncatedBlocks explores the Section 5 generalization: arbitrary
@@ -205,7 +233,10 @@ func E5TruncatedBlocks(cfg Config) *Table {
 				for i := range trees {
 					trees[i] = delta.Random(f, 1.0, rng)
 				}
-				inc.AddBlock(perm.Random(n, rng), delta.NewForest(trees...))
+				if _, err := inc.AddBlockCtx(cfg.Context(), perm.Random(n, rng), delta.NewForest(trees...)); err != nil {
+					t.NoteCanceled(err)
+					return t
+				}
 				if d := len(inc.D()); d < 2 {
 					break
 				} else {
@@ -269,7 +300,10 @@ func E8AdversaryDepth(cfg Config) *Table {
 			if d > 1 {
 				pre = perm.Random(n, rng)
 			}
-			inc.AddBlock(pre, delta.NewForest(delta.Butterfly(l)))
+			if _, err := inc.AddBlockCtx(cfg.Context(), pre, delta.NewForest(delta.Butterfly(l))); err != nil {
+				t.NoteCanceled(err)
+				return t
+			}
 			if len(inc.D()) < 2 {
 				break
 			}

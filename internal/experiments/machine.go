@@ -33,6 +33,10 @@ func E10Machine(cfg Config) *Table {
 	const B = 64
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range sizes {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		m := machine.New(n, machine.DefaultCost)
 		d := bits.Lg(n)
 		_ = d

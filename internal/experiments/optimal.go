@@ -49,6 +49,10 @@ func A2Optimality(cfg Config) *Table {
 			}},
 		}
 		for _, sc := range scenarios {
+			if err := cfg.Err(); err != nil {
+				t.NoteCanceled(err)
+				return t
+			}
 			it := sc.build()
 			an := core.Theorem41(it, 0)
 			circ, _ := it.ToNetwork()

@@ -30,6 +30,10 @@ func E9Routing(cfg Config) *Table {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range sizes {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		d := bits.Lg(n)
 		trials := 5
 		if cfg.Quick {

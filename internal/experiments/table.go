@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -121,12 +122,39 @@ type Config struct {
 	// internal phases (per-size rows, per-topology passes); nil spans
 	// are inert, so runners instrument unconditionally.
 	Span *obs.Span
+	// Ctx, when non-nil, bounds the experiment: runners check it
+	// between rows (and pass it to the ctx-aware engines) so a deadline
+	// or interrupt truncates the table instead of killing the sweep.
+	Ctx context.Context
 }
 
 // Phase starts a child span of the config's span (nil-safe), tagging
 // it with the experiment phase name and attrs.
 func (c Config) Phase(name string, attrs ...obs.Attr) *obs.Span {
 	return c.Span.Child(name, attrs...)
+}
+
+// Context returns the config's context, never nil.
+func (c Config) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// Err reports the config context's cancellation state; runners consult
+// it between rows.
+func (c Config) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// NoteCanceled marks a truncated table: rows stop at the cut and the
+// note records why. Runners call it when Err() fires mid-sweep.
+func (t *Table) NoteCanceled(err error) {
+	t.Note("TRUNCATED: %v — rows after the cut were not run", err)
 }
 
 // Runner is one registered experiment.

@@ -35,6 +35,10 @@ func E1BitonicUpperBound(cfg Config) *Table {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range sizes {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		d := bits.Lg(n)
 		r := shuffle.Bitonic(n)
 		method := "0-1 exhaustive"
@@ -72,6 +76,10 @@ func E7Constructions(cfg Config) *Table {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range sizes {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		d := bits.Lg(n)
 		bit := netbuild.Bitonic(n)
 		oem := netbuild.OddEvenMergeSort(n)
@@ -131,6 +139,10 @@ func E6AverageCase(cfg Config) *Table {
 	// Truncated Stone bitonic at fractions of full depth.
 	full := d * d
 	for _, frac := range []float64{0.25, 0.5, 0.75, 0.875, 1.0} {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		// Snap to a pass boundary: mid-pass registers hold shuffled
 		// positions, which would contaminate the disorder metrics.
 		steps := d * int(math.Round(frac*float64(d)))
@@ -144,6 +156,10 @@ func E6AverageCase(cfg Config) *Table {
 	}
 	// Halver cascades: O(lg n) depth.
 	for _, passes := range []int{1, 2, 4, 8} {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		c := halver.Cascade(n, passes, rand.New(rand.NewSource(cfg.Seed+int64(passes))))
 		sf := sortcheck.SortedFraction(n, trials, c, cfg.Seed+2, cfg.Workers)
 		md, mi := disorder(c, n, trials/4+1, rng)
@@ -151,6 +167,10 @@ func E6AverageCase(cfg Config) *Table {
 	}
 	// Randomized butterfly passes (Leighton–Plaxton flavour).
 	for _, passes := range []int{1, 2, 4} {
+		if err := cfg.Err(); err != nil {
+			t.NoteCanceled(err)
+			return t
+		}
 		r := randnet.RandomizedButterfly(n, passes, rand.New(rand.NewSource(cfg.Seed+9+int64(passes))))
 		sf := sortcheck.SortedFraction(n, trials, r, cfg.Seed+3, cfg.Workers)
 		md, mi := disorder(r, n, trials/4+1, rng)

@@ -37,10 +37,15 @@ func E11Witnesses(cfg Config) *Table {
 	d := bits.Lg(n)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	addRow := func(name string, depth int, ev sortcheck.Evaluator, cert string) {
-		frac := sortcheck.ZeroOneFraction(n, ev, cfg.Workers)
+	addRow := func(name string, depth int, ev sortcheck.Evaluator, cert string) bool {
+		frac, err := sortcheck.ZeroOneFractionCtx(cfg.Context(), n, ev, cfg.Workers)
+		if err != nil {
+			t.NoteCanceled(err)
+			return false
+		}
 		unsorted := (1 - frac) * total
 		t.AddRow(name, n, depth, math.Round(unsorted), total, frac, cert)
+		return true
 	}
 
 	// Truncated Stone bitonic at pass boundaries.
@@ -50,7 +55,9 @@ func E11Witnesses(cfg Config) *Table {
 	}
 	for _, p := range passes {
 		r := randnet.TruncatedBitonic(n, p*d)
-		addRow("bitonic/pass", r.Depth(), r, "-")
+		if !addRow("bitonic/pass", r.Depth(), r, "-") {
+			return t
+		}
 	}
 
 	// Two-block iterated butterflies: provably non-sorting with a
@@ -60,16 +67,25 @@ func E11Witnesses(cfg Config) *Table {
 	it.AddBlock(perm.Random(n, rng), delta.Butterfly(d))
 	circ, _ := it.ToNetwork()
 	cert := "none"
-	if an := core.Theorem41(it, 0); len(an.D) >= 2 {
+	an, aerr := core.Theorem41Ctx(cfg.Context(), it, 0)
+	if aerr != nil {
+		t.NoteCanceled(aerr)
+		return t
+	}
+	if len(an.D) >= 2 {
 		if c, err := an.Certificate(); err == nil && c.Verify(circ) == nil {
 			cert = "verified"
 		}
 	}
-	addRow("butterfly×2", circ.Depth(), circ, cert)
+	if !addRow("butterfly×2", circ.Depth(), circ, cert) {
+		return t
+	}
 
 	// Full bitonic: control row, zero witnesses.
 	full := randnet.TruncatedBitonic(n, d*d)
-	addRow("bitonic/full", full.Depth(), full, "-")
+	if !addRow("bitonic/full", full.Depth(), full, "-") {
+		return t
+	}
 
 	t.Note("escape prob = fraction of the 2^16 0-1 inputs the network sorts (exhaustive); naive shallow networks sort almost nothing, so their witnesses are dense — the Leighton–Plaxton nearly-sorters the paper invokes are precisely the networks that push escape prob to 1 − 2^(−2^(o(lg n/lg lg n)))")
 	return t

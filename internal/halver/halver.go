@@ -17,10 +17,12 @@
 package halver
 
 import (
+	"context"
 	"fmt"
 	mathbits "math/bits"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"shufflenet/internal/bits"
 	"shufflenet/internal/network"
@@ -75,6 +77,16 @@ const MaxEpsilonWires = 28
 // network that does nothing has ε = 1. n must be at most
 // MaxEpsilonWires. EpsilonScalar is the differential-test oracle.
 func Epsilon(c *network.Network, workers int) float64 {
+	eps, _ := EpsilonCtx(context.Background(), c, workers)
+	return eps
+}
+
+// EpsilonCtx is Epsilon under a context. Cancellation is observed once
+// per worker chunk. On cancellation the returned value is the maximum
+// misplacement ratio over the masks settled so far — a valid *lower*
+// bound on the true ε (ε can only grow as more masks are seen) — and
+// the *par.ErrCanceled reports how many masks were settled.
+func EpsilonCtx(ctx context.Context, c *network.Network, workers int) (float64, error) {
 	n := c.Wires()
 	if n > MaxEpsilonWires {
 		panic(fmt.Sprintf("halver.Epsilon: n = %d exceeds %d", n, MaxEpsilonWires))
@@ -88,7 +100,8 @@ func Epsilon(c *network.Network, workers int) float64 {
 	lanes := mathbits.OnesCount64(laneMask)
 	var mu sync.Mutex
 	eps := 0.0
-	par.ForEachChunk(blocks, workers, func(lo, hi int) {
+	var scanned int64
+	cerr := par.ForEachChunkCtx(ctx, blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(prog)
 		defer bb.FlushMetrics()
 		local := 0.0
@@ -133,11 +146,22 @@ func Epsilon(c *network.Network, workers int) float64 {
 			eps = local
 		}
 		mu.Unlock()
+		atomic.AddInt64(&scanned, int64(hi-lo))
 	})
+	if cerr != nil {
+		mu.Lock()
+		partial := eps
+		mu.Unlock()
+		return partial, &par.ErrCanceled{
+			Op:           "halver.Epsilon",
+			Cause:        cerr,
+			MasksChecked: atomic.LoadInt64(&scanned) * int64(lanes),
+		}
+	}
 	metEpsCalls.Inc()
 	metEpsMasks.Add(int64(1) << uint(n))
 	metEpsLast.Set(eps)
-	return eps
+	return eps, nil
 }
 
 // addPlane ripple-carry adds one bit per lane (the set bits of w) into

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,17 +11,21 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 )
 
 // CLIRun bundles the per-invocation observability shared by the three
 // CLIs (snet, adversary, experiments): an optional run journal, an
 // optional metrics dump at exit, an optional pprof/expvar debug
-// server, and SIGINT flushing. Typical use:
+// server, and one cancellation path shared by -timeout and SIGINT.
+// Typical use:
 //
 //	run, err := obs.StartCLI("adversary", *journalPath, *metrics, *pprofAddr)
 //	...
-//	run.HandleInterrupt(nil)
-//	defer run.Finish()
+//	ctx := run.SetupContext(*timeout)
+//	... pass ctx to the engines; on *par.ErrCanceled call run.Entry.SetPartial ...
+//	run.Finish()
+//	os.Exit(run.ExitCode())
 type CLIRun struct {
 	// Entry is the journal record under construction; commands add
 	// their payload with Entry.Set before Finish.
@@ -28,9 +34,14 @@ type CLIRun struct {
 	journal *Journal
 	metrics bool
 	reg     *Registry
+	ln      net.Listener // debug server listener; closed by Finish
 
-	mu   sync.Mutex
-	done bool
+	ctx    context.Context    // from SetupContext; nil when not used
+	cancel context.CancelFunc // cancels ctx and releases the signal goroutine
+
+	mu          sync.Mutex
+	done        bool
+	interrupted bool // a SIGINT/SIGTERM arrived (vs. deadline expiry)
 }
 
 // StartCLI opens the journal (empty path = none), starts the debug
@@ -42,50 +53,85 @@ func StartCLI(cmd, journalPath string, metrics bool, pprofAddr string) (*CLIRun,
 	if err != nil {
 		return nil, err
 	}
-	if pprofAddr != "" {
-		Default.Expvar("shufflenet")
-		if err := ServeDebug(pprofAddr); err != nil {
-			j.Close()
-			return nil, err
-		}
-	}
-	return &CLIRun{
+	r := &CLIRun{
 		Entry:   NewEntry(cmd),
 		journal: j,
 		metrics: metrics,
 		reg:     Default,
-	}, nil
+	}
+	if pprofAddr != "" {
+		Default.Expvar("shufflenet")
+		ln, err := ServeDebug(pprofAddr)
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+		r.ln = ln
+	}
+	return r, nil
 }
 
 // Journaling reports whether a journal file is attached.
 func (r *CLIRun) Journaling() bool { return r != nil && r.journal != nil }
 
-// HandleInterrupt installs a SIGINT/SIGTERM handler that runs note (if
-// non-nil), marks the entry interrupted, flushes the journal, dumps
-// partial metrics to stderr, and exits with status 130 — so a Ctrl-C
-// mid-table still leaves a valid journal line behind.
-func (r *CLIRun) HandleInterrupt(note func(e *Entry)) {
+// SetupContext returns the run's context: canceled when timeout
+// elapses (timeout <= 0 means none) or when SIGINT/SIGTERM arrives, so
+// the deadline and the interrupt share one cancellation path — the
+// engines only ever see a ctx. The first signal cancels gracefully and
+// restores the default disposition, so a second ^C kills the process
+// the usual way. Finish later inspects the context to mark the journal
+// entry timed_out or interrupted.
+func (r *CLIRun) SetupContext(timeout time.Duration) context.Context {
 	if r == nil {
-		return
+		return context.Background()
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
 	}
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		sig := <-ch
-		fmt.Fprintf(os.Stderr, "\n%s: %v — flushing journal and metrics\n", r.Entry.Cmd, sig)
-		if note != nil {
-			note(r.Entry)
+		select {
+		case sig := <-ch:
+			r.mu.Lock()
+			r.interrupted = true
+			r.mu.Unlock()
+			fmt.Fprintf(os.Stderr, "\n%s: %v — canceling; interrupt again to kill\n", r.Entry.Cmd, sig)
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
 		}
-		r.Entry.Interrupted = true
-		r.finish(true)
-		os.Exit(130)
 	}()
+	r.ctx, r.cancel = ctx, cancel
+	return ctx
 }
 
-// Finish completes the entry (wall/CPU/mem/metrics), writes it to the
-// journal, closes the journal, and dumps the registry to stderr when
-// -metrics was given. Idempotent; errors are reported to stderr rather
-// than returned, since this runs at exit.
+// ExitCode returns the process exit status this run should end with:
+// 130 after an interrupt (the shell convention for SIGINT), 0
+// otherwise — a deadline expiry is a requested, orderly stop, not a
+// failure. Call after Finish.
+func (r *CLIRun) ExitCode() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.interrupted {
+		return 130
+	}
+	return 0
+}
+
+// Finish completes the entry (wall/CPU/mem/metrics, cancellation
+// state), writes it to the journal, closes the journal and the debug
+// server, and dumps the registry to stderr when -metrics was given.
+// Idempotent; errors are reported to stderr rather than returned,
+// since this runs at exit.
 func (r *CLIRun) Finish() { r.finish(r.metrics) }
 
 func (r *CLIRun) finish(dumpMetrics bool) {
@@ -98,7 +144,22 @@ func (r *CLIRun) finish(dumpMetrics bool) {
 		return
 	}
 	r.done = true
+	interrupted := r.interrupted
 	r.mu.Unlock()
+
+	// Read the cancellation state before releasing the context: an
+	// interrupt beats a deadline when both raced (the user acted).
+	if r.ctx != nil {
+		if interrupted {
+			r.Entry.Interrupted = true
+		} else if errors.Is(r.ctx.Err(), context.DeadlineExceeded) {
+			r.Entry.TimedOut = true
+		}
+		r.cancel()
+	}
+	if r.ln != nil {
+		r.ln.Close()
+	}
 
 	r.Entry.Finish(r.reg)
 	if err := r.journal.Write(r.Entry); err != nil {
@@ -116,17 +177,17 @@ func (r *CLIRun) finish(dumpMetrics bool) {
 // ServeDebug starts an HTTP server on addr exposing the default mux:
 // /debug/pprof (imported above) and /debug/vars (expvar, which every
 // published registry feeds). The listener is created synchronously so
-// bad addresses fail fast; serving happens in a background goroutine
-// for the life of the process.
-func ServeDebug(addr string) error {
+// bad addresses fail fast and returned so callers can close it on
+// every exit path; serving happens in a background goroutine.
+func ServeDebug(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
 			fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
 		}
 	}()
-	return nil
+	return ln, nil
 }

@@ -36,7 +36,14 @@ type Entry struct {
 		MaxRSSKB        int64  `json:"max_rss_kb,omitempty"` // rusage peak (0 where unsupported)
 	} `json:"mem"`
 
-	Interrupted bool `json:"interrupted,omitempty"`
+	// Interrupted / TimedOut record why a run was cut short: a
+	// SIGINT/SIGTERM or the -timeout deadline. Partial then carries the
+	// progress fields from the engines' *par.ErrCanceled (via
+	// ErrCanceled.Fields), so a truncated run still journals how far it
+	// got.
+	Interrupted bool           `json:"interrupted,omitempty"`
+	TimedOut    bool           `json:"timed_out,omitempty"`
+	Partial     map[string]any `json:"partial,omitempty"`
 
 	Metrics map[string]any `json:"metrics,omitempty"`
 	Spans   []spanRecord   `json:"spans,omitempty"`
@@ -73,6 +80,16 @@ func (e *Entry) Set(key string, value any) {
 		return
 	}
 	e.Extra[key] = value
+}
+
+// SetPartial records the partial-progress fields of a canceled run
+// (typically par.ErrCanceled.Fields()); they land in the entry's
+// "partial" key next to the timed_out/interrupted markers.
+func (e *Entry) SetPartial(fields map[string]any) {
+	if e == nil {
+		return
+	}
+	e.Partial = fields
 }
 
 // AddSpans attaches a span tree (flattened depth-first) to the entry.

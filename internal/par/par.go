@@ -5,9 +5,21 @@
 // All functions degrade gracefully to sequential execution for small
 // inputs, so callers can use them unconditionally. Worker counts default
 // to GOMAXPROCS and are capped by the work available.
+//
+// Every loop has a ctx-aware variant (ForEachCtx, ForEachChunkCtx,
+// FindCtx, SumInt64Ctx) that observes cancellation once per chunk —
+// never per item — so the hot inner loops pay nothing: with a
+// non-cancelable context (ctx.Done() == nil, e.g. context.Background())
+// the probe compiles down to a nil check and the execution layout is
+// identical to the non-ctx entry points, which are thin
+// context.Background() wrappers. On cancellation the variants return
+// the context's error; workers abandon un-started chunks but finish the
+// chunk they are in, so the residual work after a cancel is bounded by
+// one chunk per worker.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,7 +28,9 @@ import (
 )
 
 // minParallel is the smallest range worth splitting across goroutines;
-// below this the scheduling overhead dominates.
+// below this the scheduling overhead dominates. It doubles as the
+// default cancellation-probe stride: a cancelable loop checks its
+// context every minParallel items.
 const minParallel = 2048
 
 // Runtime metrics: one or two atomic adds per parallel *invocation*
@@ -27,6 +41,7 @@ var (
 	metChunks     = obs.C("par.chunks")
 	metSequential = obs.C("par.sequential")
 	metItems      = obs.C("par.items")
+	metCanceled   = obs.C("par.canceled")
 	metWorkers    = obs.G("par.workers.last")
 )
 
@@ -47,13 +62,36 @@ func Workers(n, requested int) int {
 	return w
 }
 
+// canceled is the once-per-chunk cancellation probe: a single
+// non-blocking channel receive when the context is cancelable, and a
+// nil check compiled to nothing when it is not (done == nil for
+// context.Background and context.TODO).
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // ForEach invokes body(i) for every i in [0, n), splitting the range into
 // contiguous chunks across up to workers goroutines (0 = GOMAXPROCS).
 // body must be safe for concurrent invocation on distinct indices.
 // Ranges smaller than the default grain (2048) run sequentially; use
 // ForEachGrain when the per-item cost justifies a different threshold.
 func ForEach(n, workers int, body func(i int)) {
-	ForEachGrain(n, workers, minParallel, body)
+	forEachGrain(context.Background(), nil, n, workers, minParallel, body)
+}
+
+// ForEachCtx is ForEach with cancellation: it observes ctx once per
+// chunk of 2048 items and returns ctx.Err() when the run was cut short
+// (some indices unvisited), nil when every index was visited.
+func ForEachCtx(ctx context.Context, n, workers int, body func(i int)) error {
+	return forEachGrain(ctx, ctx.Done(), n, workers, minParallel, body)
 }
 
 // ForEachGrain is ForEach with an explicit grain size: ranges smaller
@@ -62,69 +100,155 @@ func ForEach(n, workers int, body func(i int)) {
 // small grain (>= 1) to force parallelism on short ranges; callers
 // with trivial bodies should keep it large.
 func ForEachGrain(n, workers, grain int, body func(i int)) {
+	forEachGrain(context.Background(), nil, n, workers, grain, body)
+}
+
+// ForEachGrainCtx is ForEachGrain with cancellation, probed once per
+// grain-sized piece of each worker's range.
+func ForEachGrainCtx(ctx context.Context, n, workers, grain int, body func(i int)) error {
+	return forEachGrain(ctx, ctx.Done(), n, workers, grain, body)
+}
+
+func forEachGrain(ctx context.Context, done <-chan struct{}, n, workers, grain int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
 	}
 	w := Workers(n, workers)
 	metItems.Add(int64(n))
 	if w == 1 || n < grain {
 		metSequential.Inc()
-		for i := 0; i < n; i++ {
-			body(i)
+		for lo := 0; lo < n; lo += grain {
+			if canceled(done) {
+				metCanceled.Inc()
+				return ctx.Err()
+			}
+			hi := min(lo+grain, n)
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	metChunks.Add(int64((n + chunk - 1) / chunk))
 	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
+			for ; lo < hi; lo += grain {
+				if canceled(done) {
+					return
+				}
+				stop := min(lo+grain, hi)
+				for i := lo; i < stop; i++ {
+					body(i)
+				}
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if canceled(done) {
+		metCanceled.Inc()
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ForEachChunk invokes body(lo, hi) for a partition of [0, n) into
 // contiguous half-open chunks, one per worker goroutine. Use this
 // instead of ForEach when the body benefits from per-chunk state
-// (e.g. scratch buffers).
+// (e.g. scratch buffers). Ranges smaller than the default grain (2048)
+// run as a single body(0, n) call on the calling goroutine; use
+// ForEachChunkGrain when few-but-heavy chunks justify a lower
+// threshold.
 func ForEachChunk(n, workers int, body func(lo, hi int)) {
+	forEachChunk(context.Background(), nil, n, workers, minParallel, body)
+}
+
+// ForEachChunkGrain is ForEachChunk with an explicit sequential
+// threshold: ranges smaller than grain run as one body(0, n) call.
+// Callers whose chunks are individually expensive (e.g. per-slot
+// Monte-Carlo batches) pass a small grain to keep parallelism on short
+// ranges.
+func ForEachChunkGrain(n, workers, grain int, body func(lo, hi int)) {
+	forEachChunk(context.Background(), nil, n, workers, grain, body)
+}
+
+// ForEachChunkCtx is ForEachChunk with cancellation. With a cancelable
+// context each worker's range is re-split into grain-sized (2048)
+// pieces with a probe before each piece, so body runs O(n/2048) times
+// instead of once per worker; bodies that amortize per-chunk state
+// (scratch buffers, batched metric flushes) amortize it over a piece
+// instead of a worker-range, which costs nothing measurable at that
+// stride. With a non-cancelable context the layout is exactly
+// ForEachChunk's. Returns ctx.Err() when chunks were abandoned.
+func ForEachChunkCtx(ctx context.Context, n, workers int, body func(lo, hi int)) error {
+	return forEachChunk(ctx, ctx.Done(), n, workers, minParallel, body)
+}
+
+// ForEachChunkGrainCtx is ForEachChunkGrain with cancellation, probed
+// once per grain-sized piece.
+func ForEachChunkGrainCtx(ctx context.Context, n, workers, grain int, body func(lo, hi int)) error {
+	return forEachChunk(ctx, ctx.Done(), n, workers, grain, body)
+}
+
+func forEachChunk(ctx context.Context, done <-chan struct{}, n, workers, grain int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
 	}
 	w := Workers(n, workers)
 	metItems.Add(int64(n))
-	if w == 1 {
+	if w == 1 || n < grain {
 		metSequential.Inc()
-		body(0, n)
-		return
+		if done == nil {
+			body(0, n)
+			return nil
+		}
+		for lo := 0; lo < n; lo += grain {
+			if canceled(done) {
+				metCanceled.Inc()
+				return ctx.Err()
+			}
+			body(lo, min(lo+grain, n))
+		}
+		return nil
 	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	metChunks.Add(int64((n + chunk - 1) / chunk))
 	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			if done == nil {
+				body(lo, hi)
+				return
+			}
+			for ; lo < hi; lo += grain {
+				if canceled(done) {
+					return
+				}
+				body(lo, min(lo+grain, hi))
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if canceled(done) {
+		metCanceled.Inc()
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Find searches [0, n) in parallel for an index satisfying pred and
@@ -133,19 +257,40 @@ func ForEachChunk(n, workers int, body func(lo, hi int)) {
 // so Find is effective for needle-in-haystack searches such as locating
 // the first unsorted 0-1 input of a network.
 func Find(n, workers int, pred func(i int) bool) int {
+	i, _ := findCtx(context.Background(), nil, n, workers, pred)
+	return i
+}
+
+// FindCtx is Find with cancellation, probed once per chunk of 2048
+// candidates. On cancellation it returns the smallest hit observed so
+// far (or -1) together with ctx.Err(); the returned index still
+// satisfies pred but is no longer guaranteed minimal, since chunks
+// below it may have been abandoned.
+func FindCtx(ctx context.Context, n, workers int, pred func(i int) bool) (int, error) {
+	return findCtx(ctx, ctx.Done(), n, workers, pred)
+}
+
+func findCtx(ctx context.Context, done <-chan struct{}, n, workers int, pred func(i int) bool) (int, error) {
 	if n <= 0 {
-		return -1
+		return -1, nil
 	}
 	w := Workers(n, workers)
 	metItems.Add(int64(n))
 	if w == 1 || n < minParallel {
 		metSequential.Inc()
-		for i := 0; i < n; i++ {
-			if pred(i) {
-				return i
+		for lo := 0; lo < n; lo += minParallel {
+			if canceled(done) {
+				metCanceled.Inc()
+				return -1, ctx.Err()
+			}
+			hi := min(lo+minParallel, n)
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					return i, nil
+				}
 			}
 		}
-		return -1
+		return -1, nil
 	}
 	best := int64(n)
 	var wg sync.WaitGroup
@@ -153,50 +298,80 @@ func Find(n, workers int, pred func(i int) bool) int {
 	metChunks.Add(int64((n + chunk - 1) / chunk))
 	metWorkers.Set(int64(w))
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if int64(i) >= atomic.LoadInt64(&best) {
-					return // a smaller index already found
-				}
-				if pred(i) {
-					for {
-						cur := atomic.LoadInt64(&best)
-						if int64(i) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(i)) {
-							break
-						}
-					}
+			for ; lo < hi; lo += minParallel {
+				if canceled(done) {
 					return
+				}
+				stop := min(lo+minParallel, hi)
+				for i := lo; i < stop; i++ {
+					if int64(i) >= atomic.LoadInt64(&best) {
+						return // a smaller index already found
+					}
+					if pred(i) {
+						for {
+							cur := atomic.LoadInt64(&best)
+							if int64(i) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(i)) {
+								break
+							}
+						}
+						return
+					}
 				}
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	if best == int64(n) {
-		return -1
+	hit := atomic.LoadInt64(&best)
+	if canceled(done) {
+		metCanceled.Inc()
+		if hit < int64(n) {
+			return int(hit), ctx.Err()
+		}
+		return -1, ctx.Err()
 	}
-	return int(best)
+	if hit == int64(n) {
+		return -1, nil
+	}
+	return int(hit), nil
 }
 
 // SumInt64 computes sum over i in [0, n) of f(i) in parallel.
 func SumInt64(n, workers int, f func(i int) int64) int64 {
+	s, _ := sumInt64(context.Background(), nil, n, workers, f)
+	return s
+}
+
+// SumInt64Ctx is SumInt64 with cancellation, probed once per chunk of
+// 2048 items. On cancellation it returns the partial sum accumulated
+// so far (an undercount) together with ctx.Err().
+func SumInt64Ctx(ctx context.Context, n, workers int, f func(i int) int64) (int64, error) {
+	return sumInt64(ctx, ctx.Done(), n, workers, f)
+}
+
+func sumInt64(ctx context.Context, done <-chan struct{}, n, workers int, f func(i int) int64) (int64, error) {
 	if n <= 0 {
-		return 0
+		return 0, nil
 	}
 	w := Workers(n, workers)
 	metItems.Add(int64(n))
 	if w == 1 || n < minParallel {
 		metSequential.Inc()
 		var s int64
-		for i := 0; i < n; i++ {
-			s += f(i)
+		for lo := 0; lo < n; lo += minParallel {
+			if canceled(done) {
+				metCanceled.Inc()
+				return s, ctx.Err()
+			}
+			hi := min(lo+minParallel, n)
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
 		}
-		return s
+		return s, nil
 	}
 	partial := make([]int64, w)
 	var wg sync.WaitGroup
@@ -205,16 +380,19 @@ func SumInt64(n, workers int, f func(i int) int64) int64 {
 	metWorkers.Set(int64(w))
 	slot := 0
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(slot, lo, hi int) {
 			defer wg.Done()
 			var s int64
-			for i := lo; i < hi; i++ {
-				s += f(i)
+			for ; lo < hi; lo += minParallel {
+				if canceled(done) {
+					break
+				}
+				stop := min(lo+minParallel, hi)
+				for i := lo; i < stop; i++ {
+					s += f(i)
+				}
 			}
 			partial[slot] = s
 		}(slot, lo, hi)
@@ -225,7 +403,11 @@ func SumInt64(n, workers int, f func(i int) int64) int64 {
 	for _, s := range partial {
 		total += s
 	}
-	return total
+	if canceled(done) {
+		metCanceled.Inc()
+		return total, ctx.Err()
+	}
+	return total, nil
 }
 
 // Map applies f to every index of dst in parallel, storing the results.

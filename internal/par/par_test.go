@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -126,5 +127,177 @@ func TestForEachGrain(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestForEachChunkSmallRangeSequential pins the grain fallback: a tiny
+// range must run as exactly one body(0, n) call on the calling
+// goroutine instead of fanning out one goroutine per item (the
+// historical bug: a 2-element range spawned up to GOMAXPROCS
+// goroutines).
+func TestForEachChunkSmallRangeSequential(t *testing.T) {
+	for _, n := range []int{1, 2, 10, minParallel - 1} {
+		var calls [][2]int
+		ForEachChunk(n, 8, func(lo, hi int) {
+			// No synchronization on purpose: if this ever runs on more
+			// than one goroutine, the race detector flags it.
+			calls = append(calls, [2]int{lo, hi})
+		})
+		if len(calls) != 1 || calls[0] != [2]int{0, n} {
+			t.Fatalf("n=%d: want one sequential chunk [0,%d), got %v", n, n, calls)
+		}
+	}
+}
+
+// TestForEachChunkGrainKeepsParallelism verifies the explicit-grain
+// escape hatch: few-but-heavy chunks (grain 1) still partition across
+// workers.
+func TestForEachChunkGrainKeepsParallelism(t *testing.T) {
+	const n = 4
+	covered := make([]int32, n)
+	var chunks int32
+	ForEachChunkGrain(n, n, 1, func(lo, hi int) {
+		atomic.AddInt32(&chunks, 1)
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	if chunks != n {
+		t.Fatalf("grain=1: want %d chunks, got %d", n, chunks)
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestCtxVariantsMatchPlainOnBackground(t *testing.T) {
+	ctx := context.Background()
+	const n = 3*minParallel + 7
+	var sum int64
+	if err := ForEachCtx(ctx, n, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * int64(n-1) / 2; sum != want {
+		t.Fatalf("ForEachCtx sum = %d, want %d", sum, want)
+	}
+	got, err := FindCtx(ctx, n, 4, func(i int) bool { return i >= minParallel })
+	if err != nil || got != minParallel {
+		t.Fatalf("FindCtx = (%d, %v)", got, err)
+	}
+	s, err := SumInt64Ctx(ctx, n, 4, func(i int) int64 { return 1 })
+	if err != nil || s != int64(n) {
+		t.Fatalf("SumInt64Ctx = (%d, %v)", s, err)
+	}
+	covered := make([]int32, n)
+	if err := ForEachChunkCtx(ctx, n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("ForEachChunkCtx: index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestCtxVariantsCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	body := func(i int) { atomic.AddInt64(&ran, 1) }
+	if err := ForEachCtx(ctx, 4*minParallel, 4, body); err != context.Canceled {
+		t.Fatalf("ForEachCtx err = %v", err)
+	}
+	if err := ForEachChunkCtx(ctx, 4*minParallel, 4, func(lo, hi int) { atomic.AddInt64(&ran, int64(hi-lo)) }); err != context.Canceled {
+		t.Fatalf("ForEachChunkCtx err = %v", err)
+	}
+	if i, err := FindCtx(ctx, 4*minParallel, 4, func(i int) bool { atomic.AddInt64(&ran, 1); return false }); err != context.Canceled || i != -1 {
+		t.Fatalf("FindCtx = (%d, %v)", i, err)
+	}
+	if s, err := SumInt64Ctx(ctx, 4*minParallel, 4, func(i int) int64 { atomic.AddInt64(&ran, 1); return 1 }); err != context.Canceled || s != 0 {
+		t.Fatalf("SumInt64Ctx = (%d, %v)", s, err)
+	}
+	if ran != 0 {
+		t.Fatalf("canceled context still ran %d items", ran)
+	}
+}
+
+// TestForEachCtxCancelPrompt is the promptness contract: after cancel,
+// each worker finishes at most the grain-sized piece it is in and
+// abandons the rest, so the residual work is under two chunks per
+// worker (satellite requirement; runs under -race in make check-ctx).
+func TestForEachCtxCancelPrompt(t *testing.T) {
+	const (
+		workers = 4
+		grain   = 32
+		n       = 1 << 16
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed int64
+	err := ForEachGrainCtx(ctx, n, workers, grain, func(i int) {
+		if atomic.AddInt64(&processed, 1) == 1 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker was at most mid-piece when the cancel landed and may
+	// start at most one more piece before its next probe observes it.
+	limit := int64(2 * workers * grain)
+	if got := atomic.LoadInt64(&processed); got > limit {
+		t.Fatalf("processed %d items after cancel, want <= %d (<2 chunks/worker)", got, limit)
+	}
+}
+
+// TestFindCtxCancelPrompt: same promptness contract for the early-exit
+// search (probe stride is minParallel there).
+func TestFindCtxCancelPrompt(t *testing.T) {
+	const (
+		workers = 4
+		n       = 1 << 20
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed int64
+	got, err := FindCtx(ctx, n, workers, func(i int) bool {
+		if atomic.AddInt64(&processed, 1) == 1 {
+			cancel()
+		}
+		return false
+	})
+	if err != context.Canceled || got != -1 {
+		t.Fatalf("FindCtx = (%d, %v), want (-1, context.Canceled)", got, err)
+	}
+	limit := int64(2 * workers * minParallel)
+	if p := atomic.LoadInt64(&processed); p > limit {
+		t.Fatalf("processed %d candidates after cancel, want <= %d (<2 chunks/worker)", p, limit)
+	}
+}
+
+// TestFindCtxCancelKeepsHit: a hit found before the cancel is still
+// returned (partial result), alongside the error.
+func TestFindCtxCancelKeepsHit(t *testing.T) {
+	const n = 1 << 18
+	ctx, cancel := context.WithCancel(context.Background())
+	got, err := FindCtx(ctx, n, 4, func(i int) bool {
+		if i == 3 {
+			cancel()
+			return true
+		}
+		return false
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got < 0 {
+		t.Skip("cancel observed before the hit was recorded (legal schedule)")
+	}
+	if got != 3 {
+		t.Fatalf("hit = %d, want 3", got)
 	}
 }

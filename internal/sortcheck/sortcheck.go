@@ -21,6 +21,7 @@
 package sortcheck
 
 import (
+	"context"
 	"fmt"
 	mathbits "math/bits"
 	"math/rand"
@@ -99,52 +100,94 @@ func ZeroOneInput(mask uint64, n int) []int {
 // MaxZeroOneWires. Compilable evaluators run on the bit-sliced kernel,
 // 64 masks per block; others on the scalar oracle. Both agree exactly.
 func ZeroOne(n int, ev Evaluator, workers int) (ok bool, witness []int) {
+	ok, witness, _ = ZeroOneCtx(context.Background(), n, ev, workers)
+	return ok, witness
+}
+
+// ZeroOneCtx is ZeroOne under a context: cancellation is observed once
+// per worker chunk (never per mask, so the kernel throughput is
+// unchanged). On cancellation it returns a *par.ErrCanceled whose
+// MasksChecked field records how many of the 2^n inputs were settled
+// before the run was cut short; ok and witness are then meaningless.
+func ZeroOneCtx(ctx context.Context, n int, ev Evaluator, workers int) (ok bool, witness []int, err error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
 	}
 	if p := compiled(n, ev); p != nil {
-		mask, ok := zeroOneBits(n, p, workers)
+		mask, ok, err := zeroOneBits(ctx, n, p, workers)
+		if err != nil {
+			return false, nil, err
+		}
 		if ok {
-			return true, nil
+			return true, nil, nil
 		}
 		metWitnesses.Inc()
-		return false, ZeroOneInput(mask, n)
+		return false, ZeroOneInput(mask, n), nil
 	}
-	return ZeroOneScalar(n, ev, workers)
+	return ZeroOneScalarCtx(ctx, n, ev, workers)
 }
 
 // ZeroOneScalar is the scalar-enumeration 0-1 check: one Eval per mask.
 // It is the differential-test oracle for the bit-sliced kernel and the
 // fallback for evaluators that cannot be compiled.
 func ZeroOneScalar(n int, ev Evaluator, workers int) (ok bool, witness []int) {
+	ok, witness, _ = ZeroOneScalarCtx(context.Background(), n, ev, workers)
+	return ok, witness
+}
+
+// ZeroOneScalarCtx is ZeroOneScalar under a context. The per-mask
+// progress counter is only maintained when the context is cancelable,
+// so the Background-wrapped oracle path is byte-identical to before.
+func ZeroOneScalarCtx(ctx context.Context, n int, ev Evaluator, workers int) (ok bool, witness []int, err error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
 	}
 	total := 1 << uint(n)
-	bad := par.Find(total, workers, func(mask int) bool {
+	pred := func(mask int) bool {
 		return !IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n)))
-	})
+	}
+	var tried int64
+	if ctx.Done() != nil {
+		inner := pred
+		pred = func(mask int) bool {
+			atomic.AddInt64(&tried, 1)
+			return inner(mask)
+		}
+	}
+	bad, cerr := par.FindCtx(ctx, total, workers, pred)
+	if cerr != nil {
+		return false, nil, &par.ErrCanceled{
+			Op:           "sortcheck.ZeroOneScalar",
+			Cause:        cerr,
+			MasksChecked: atomic.LoadInt64(&tried),
+		}
+	}
 	if bad < 0 {
 		metMasks.Add(int64(total))
-		return true, nil
+		return true, nil, nil
 	}
 	metMasks.Add(int64(bad) + 1)
 	metWitnesses.Inc()
-	return false, ZeroOneInput(uint64(bad), n)
+	return false, ZeroOneInput(uint64(bad), n), nil
 }
 
 // zeroOneBits scans all 2^n masks through the bit-sliced kernel in
 // 64-wide blocks chunked across workers, returning the smallest failing
-// mask (matching the scalar path's witness exactly) or ok = true.
-func zeroOneBits(n int, p *network.Program, workers int) (firstBad uint64, ok bool) {
+// mask (matching the scalar path's witness exactly) or ok = true. On
+// cancellation the error carries the number of masks settled so far.
+func zeroOneBits(ctx context.Context, n int, p *network.Program, workers int) (firstBad uint64, ok bool, err error) {
 	blocks, laneMask := network.ZeroOneBlocks(n)
 	lanes := int64(mathbits.OnesCount64(laneMask))
 	best := int64(blocks)
-	par.ForEachChunk(blocks, workers, func(lo, hi int) {
+	var scanned int64 // blocks settled across all chunks (progress reporting)
+	cerr := par.ForEachChunkCtx(ctx, blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(p)
 		defer bb.FlushMetrics()
 		processed := int64(0)
-		defer func() { metMasks.Add(processed * lanes) }()
+		defer func() {
+			metMasks.Add(processed * lanes)
+			atomic.AddInt64(&scanned, processed)
+		}()
 		for b := lo; b < hi; b++ {
 			if int64(b) >= atomic.LoadInt64(&best) {
 				metEarlyExits.Inc()
@@ -163,30 +206,45 @@ func zeroOneBits(n int, p *network.Program, workers int) (firstBad uint64, ok bo
 			return
 		}
 	})
+	if cerr != nil {
+		return 0, false, &par.ErrCanceled{
+			Op:           "sortcheck.ZeroOne",
+			Cause:        cerr,
+			MasksChecked: atomic.LoadInt64(&scanned) * lanes,
+		}
+	}
 	if best == int64(blocks) {
-		return 0, true
+		return 0, true, nil
 	}
 	bb := network.NewBitBatch(p)
 	bad := bb.Run(uint64(best)) & laneMask
 	bb.FlushMetrics()
-	return uint64(best)*64 + uint64(mathbits.TrailingZeros64(bad)), false
+	return uint64(best)*64 + uint64(mathbits.TrailingZeros64(bad)), false, nil
 }
 
 // ZeroOneFraction returns the fraction of the 2^n 0-1 inputs that the
 // network sorts, evaluated exhaustively in parallel (bit-sliced for
 // Compilable evaluators). n must be at most MaxZeroOneWires.
 func ZeroOneFraction(n int, ev Evaluator, workers int) float64 {
+	frac, _ := ZeroOneFractionCtx(context.Background(), n, ev, workers)
+	return frac
+}
+
+// ZeroOneFractionCtx is ZeroOneFraction under a context. On
+// cancellation the returned fraction is meaningless (in-flight chunks
+// are abandoned) and the *par.ErrCanceled reports the masks settled.
+func ZeroOneFractionCtx(ctx context.Context, n int, ev Evaluator, workers int) (float64, error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOneFraction: n = %d exceeds %d", n, MaxZeroOneWires))
 	}
 	p := compiled(n, ev)
 	if p == nil {
-		return ZeroOneFractionScalar(n, ev, workers)
+		return ZeroOneFractionScalarCtx(ctx, n, ev, workers)
 	}
 	blocks, laneMask := network.ZeroOneBlocks(n)
 	lanes := mathbits.OnesCount64(laneMask)
-	var good int64
-	par.ForEachChunk(blocks, workers, func(lo, hi int) {
+	var good, scanned int64
+	cerr := par.ForEachChunkCtx(ctx, blocks, workers, func(lo, hi int) {
 		bb := network.NewBitBatch(p)
 		defer bb.FlushMetrics()
 		var g int64
@@ -194,29 +252,55 @@ func ZeroOneFraction(n int, ev Evaluator, workers int) float64 {
 			g += int64(lanes - mathbits.OnesCount64(bb.Run(uint64(b))&laneMask))
 		}
 		atomic.AddInt64(&good, g)
+		atomic.AddInt64(&scanned, int64(hi-lo))
 	})
+	if cerr != nil {
+		return 0, &par.ErrCanceled{
+			Op:           "sortcheck.ZeroOneFraction",
+			Cause:        cerr,
+			MasksChecked: atomic.LoadInt64(&scanned) * int64(lanes),
+		}
+	}
 	total := int64(1) << uint(n)
 	metMasks.Add(total)
 	metWitnesses.Add(total - good)
-	return float64(good) / float64(total)
+	return float64(good) / float64(total), nil
 }
 
 // ZeroOneFractionScalar is the scalar-enumeration sorted fraction (the
 // differential-test oracle for ZeroOneFraction).
 func ZeroOneFractionScalar(n int, ev Evaluator, workers int) float64 {
+	frac, _ := ZeroOneFractionScalarCtx(context.Background(), n, ev, workers)
+	return frac
+}
+
+// ZeroOneFractionScalarCtx is ZeroOneFractionScalar under a context.
+func ZeroOneFractionScalarCtx(ctx context.Context, n int, ev Evaluator, workers int) (float64, error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck.ZeroOneFraction: n = %d exceeds %d", n, MaxZeroOneWires))
 	}
 	total := 1 << uint(n)
-	good := par.SumInt64(total, workers, func(mask int) int64 {
+	var tried int64
+	countTried := ctx.Done() != nil
+	good, cerr := par.SumInt64Ctx(ctx, total, workers, func(mask int) int64 {
+		if countTried {
+			atomic.AddInt64(&tried, 1)
+		}
 		if IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n))) {
 			return 1
 		}
 		return 0
 	})
+	if cerr != nil {
+		return 0, &par.ErrCanceled{
+			Op:           "sortcheck.ZeroOneFractionScalar",
+			Cause:        cerr,
+			MasksChecked: atomic.LoadInt64(&tried),
+		}
+	}
 	metMasks.Add(int64(total))
 	metWitnesses.Add(int64(total) - good)
-	return float64(good) / float64(total)
+	return float64(good) / float64(total), nil
 }
 
 // MaxExhaustiveWires bounds Exhaustive: n! permutations must be
@@ -308,7 +392,9 @@ func SortedFraction(n, trials int, ev Evaluator, seed int64, workers int) float6
 	p := compiled(n, ev)
 	metFracTrials.Add(int64(trials))
 	var good int64
-	par.ForEachChunk(w, w, func(lo, hi int) {
+	// Grain 1: there are only w slot-chunks, each carrying a full share
+	// of the trials, so the small-n sequential fallback must not fire.
+	par.ForEachChunkGrain(w, w, 1, func(lo, hi int) {
 		in := make([]int, n)
 		out := make([]int, n)
 		var g int64
@@ -371,13 +457,30 @@ func MaxDislocation(xs []int) int {
 // that the network fails to sort, scanning masks in increasing order
 // (bit-sliced for Compilable evaluators, 64 masks per step).
 func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
+	out, _ := UnsortedZeroOneWitnessesCtx(context.Background(), n, ev, limit)
+	return out
+}
+
+// witnessProbeStride is how many blocks (64 masks each on the
+// bit-sliced path, single masks on the scalar path) the witness scans
+// settle between context probes. The scan is sequential, so the probe
+// cost is a select every stride iterations — invisible next to the
+// evaluations themselves.
+const witnessProbeStride = 2048
+
+// UnsortedZeroOneWitnessesCtx is UnsortedZeroOneWitnesses under a
+// context. On cancellation the witnesses found so far are returned —
+// they remain valid failing inputs — alongside a *par.ErrCanceled
+// whose MasksChecked records how far the scan got.
+func UnsortedZeroOneWitnessesCtx(ctx context.Context, n int, ev Evaluator, limit int) ([]uint64, error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck: n = %d exceeds %d", n, MaxZeroOneWires))
 	}
 	p := compiled(n, ev)
 	if p == nil {
-		return UnsortedZeroOneWitnessesScalar(n, ev, limit)
+		return UnsortedZeroOneWitnessesScalarCtx(ctx, n, ev, limit)
 	}
+	done := ctx.Done()
 	var out []uint64
 	blocks, laneMask := network.ZeroOneBlocks(n)
 	lanes := int64(mathbits.OnesCount64(laneMask))
@@ -385,6 +488,19 @@ func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
 	defer bb.FlushMetrics()
 	scanned := int64(0)
 	for b := 0; b < blocks && len(out) < limit; b++ {
+		if done != nil && scanned%witnessProbeStride == 0 {
+			select {
+			case <-done:
+				metMasks.Add(scanned * lanes)
+				metWitnesses.Add(int64(len(out)))
+				return out, &par.ErrCanceled{
+					Op:           "sortcheck.UnsortedZeroOneWitnesses",
+					Cause:        ctx.Err(),
+					MasksChecked: scanned * lanes,
+				}
+			default:
+			}
+		}
 		scanned++
 		bad := bb.Run(uint64(b)) & laneMask
 		for bad != 0 && len(out) < limit {
@@ -395,26 +511,47 @@ func UnsortedZeroOneWitnesses(n int, ev Evaluator, limit int) []uint64 {
 	}
 	metMasks.Add(scanned * lanes)
 	metWitnesses.Add(int64(len(out)))
-	return out
+	return out, nil
 }
 
 // UnsortedZeroOneWitnessesScalar is the scalar-enumeration witness scan
 // (the differential-test oracle for UnsortedZeroOneWitnesses).
 func UnsortedZeroOneWitnessesScalar(n int, ev Evaluator, limit int) []uint64 {
+	out, _ := UnsortedZeroOneWitnessesScalarCtx(context.Background(), n, ev, limit)
+	return out
+}
+
+// UnsortedZeroOneWitnessesScalarCtx is the ctx-aware scalar witness
+// scan, with the same partial-result contract as the bit-sliced path.
+func UnsortedZeroOneWitnessesScalarCtx(ctx context.Context, n int, ev Evaluator, limit int) ([]uint64, error) {
 	if n > MaxZeroOneWires {
 		panic(fmt.Sprintf("sortcheck: n = %d exceeds %d", n, MaxZeroOneWires))
 	}
+	done := ctx.Done()
 	var out []uint64
 	total := uint64(1) << uint(n)
 	mask := uint64(0)
 	for ; mask < total && len(out) < limit; mask++ {
+		if done != nil && mask%witnessProbeStride == 0 {
+			select {
+			case <-done:
+				metMasks.Add(int64(mask))
+				metWitnesses.Add(int64(len(out)))
+				return out, &par.ErrCanceled{
+					Op:           "sortcheck.UnsortedZeroOneWitnessesScalar",
+					Cause:        ctx.Err(),
+					MasksChecked: int64(mask),
+				}
+			default:
+			}
+		}
 		if !IsSorted(ev.Eval(ZeroOneInput(mask, n))) {
 			out = append(out, mask)
 		}
 	}
 	metMasks.Add(int64(mask))
 	metWitnesses.Add(int64(len(out)))
-	return out
+	return out, nil
 }
 
 func mergeCount(xs, buf []int) int64 {
