@@ -1,9 +1,17 @@
 GO ?= go
 
-.PHONY: build test check check-ctx vet race bench bench-json fuzz experiments
+.PHONY: build test check check-ctx vet race bench bench-json bench-diff bench-smoke fuzz experiments
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR4.json
+
+# Baseline the guarded (SWAR kernel) benchmarks are diffed against by
+# bench-diff. Only meaningful on the machine that recorded it.
+BENCH_BASE ?= BENCH_PR2.json
+
+# The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
+# kernels (see cmd/benchjson defaultGuard).
+BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon
 
 build:
 	$(GO) build ./...
@@ -39,6 +47,27 @@ bench-json:
 	  $(GO) test -run XXX -bench . -benchmem ./internal/obs/ ; } \
 	| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
+
+# bench-diff re-runs the guarded SWAR kernel benchmarks and fails if
+# any regressed more than 15% against the committed baseline
+# (BENCH_BASE). ns/op only compares within one machine — run it on the
+# box that recorded the baseline.
+bench-diff:
+	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -diff $(BENCH_BASE) /tmp/bench_head.json
+
+# bench-smoke exercises the same gate machine-independently: two fresh
+# short runs of the guarded benchmarks on the same machine, diffed with
+# a lax threshold. Catches gross regressions and keeps the bench + diff
+# tooling honest in CI, where comparing against a snapshot recorded on
+# different hardware would be meaningless.
+bench-smoke:
+	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_a.json
+	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_b.json
+	$(GO) run ./cmd/benchjson -diff -threshold 0.5 /tmp/bench_smoke_a.json /tmp/bench_smoke_b.json
 
 # Short fuzz pass over the parsers and the compiled-kernel round trip.
 fuzz:

@@ -69,6 +69,35 @@ func BenchmarkE2LemmaSurvival(b *testing.B) {
 	}
 }
 
+// BenchmarkLemma41 is the allocation-focused view of the Lemma 4.1
+// engine (same workload as BenchmarkE2LemmaSurvival, with allocs/op
+// reported): the flat in-place recursion is expected to hold allocs/op
+// an order of magnitude below the old per-node Clone()+map design.
+func BenchmarkLemma41(b *testing.B) {
+	const n = 1024
+	l := bits.Lg(n)
+	tree := delta.Butterfly(l)
+	p := pattern.Uniform(n, pattern.M(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Lemma41(tree, p, l)
+	}
+}
+
+// BenchmarkOptimalNoncolliding measures the exact branch-and-bound
+// search over all 3^n patterns on the A2 butterfly instance at n = 16.
+func BenchmarkOptimalNoncolliding(b *testing.B) {
+	const n = 16
+	it := delta.NewIterated(n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(n)))
+	circ, _ := it.ToNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.OptimalNoncolliding(circ)
+	}
+}
+
 // BenchmarkE3IteratedSurvival measures Theorem 4.1 across two butterfly
 // blocks with random glue at n = 256.
 func BenchmarkE3IteratedSurvival(b *testing.B) {

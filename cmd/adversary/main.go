@@ -7,7 +7,7 @@
 // Usage:
 //
 //	adversary -n 256 -blocks 2 [-topology butterfly|random|bitonic]
-//	          [-seed N] [-k K] [-v] [-timeout 30s]
+//	          [-seed N] [-k K] [-v] [-timeout 30s] [-workers N]
 //	          [-journal run.jsonl] [-metrics] [-pprof ADDR]
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"shufflenet/internal/bits"
 	"shufflenet/internal/core"
@@ -75,7 +76,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); partial per-block results are kept")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); Theorem 4.1's recursion forks automatically, so this caps the scheduler")
 	flag.Parse()
+
+	// The adversary's parallelism is the automatic subtree fork inside
+	// core.lemmaRec, which rides the Go scheduler rather than an explicit
+	// pool — so the worker cap is applied as GOMAXPROCS.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var err error
 	cli, err = obs.StartCLI("adversary", *journal, *metrics, *pprofAddr)
@@ -84,6 +93,7 @@ func main() {
 		os.Exit(1)
 	}
 	cli.Entry.Seed = *seed
+	cli.Entry.Set("workers", *workers)
 	ctx := cli.SetupContext(*timeout)
 	defer cli.Finish()
 

@@ -8,9 +8,21 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem . | benchjson -o BENCH.json
+//	benchjson -diff old.json new.json [-threshold 0.15] [-guard REGEX]
 //
 // Used by `make bench-json` to record the per-PR benchmark snapshots
 // (BENCH_PR*.json) referenced from EXPERIMENTS.md.
+//
+// With -diff, two recorded files are compared benchmark by benchmark
+// (ns/op, with the -GOMAXPROCS name suffix stripped so runs at
+// different -cpu settings line up). Benchmarks whose names match the
+// -guard regexp — by default the SWAR 0-1 evaluation kernels, the
+// hot path every exhaustive verification sits on — fail the diff when
+// they regress by more than -threshold (a fraction; 0.15 = 15%) or
+// disappear from the new file. Exit status 1 on failure, 0 otherwise.
+// Used by `make bench-diff` (against the committed baseline, only
+// meaningful on the machine that recorded it) and `make bench-smoke`
+// (two fresh runs on the same machine, any machine).
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,9 +58,30 @@ type Doc struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// defaultGuard protects the bit-sliced (SWAR) 0-1 evaluation kernels:
+// a regression there slows every exhaustive sorting check in the repo.
+const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$`
+
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	diff := flag.Bool("diff", false, "compare two recorded JSON files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0.15, "with -diff: allowed fractional ns/op regression for guarded benchmarks")
+	guard := flag.String("guard", defaultGuard, "with -diff: regexp of benchmark names whose regressions fail the diff (empty = report only)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fail("-diff needs exactly two files: old.json new.json")
+		}
+		failures, err := Diff(os.Stdout, flag.Arg(0), flag.Arg(1), *guard, *threshold)
+		if err != nil {
+			fail(err.Error())
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -154,6 +188,110 @@ func Parse(r io.Reader) (*Doc, error) {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
 	return doc, nil
+}
+
+// stripProcs removes go test's trailing -GOMAXPROCS suffix
+// ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar") so files recorded at
+// different -cpu settings still line up. Names without the suffix
+// (GOMAXPROCS=1 runs) pass through unchanged.
+func stripProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// loadDoc reads a recorded benchjson file into a name→Result map
+// (names normalized via stripProcs).
+func loadDoc(path string) (map[string]Result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := make(map[string]Result, len(doc.Benchmarks))
+	var names []string
+	for _, b := range doc.Benchmarks {
+		name := stripProcs(b.Name)
+		if _, dup := m[name]; !dup {
+			names = append(names, name)
+		}
+		m[name] = b
+	}
+	return m, names, nil
+}
+
+// Diff compares two recorded files and reports per-benchmark ns/op
+// deltas. It returns the number of guard failures: guarded benchmarks
+// that regressed past the threshold or vanished from the new file.
+// Benchmarks only present on one side are reported but never fail the
+// diff unless guarded and missing from the new side — new benchmarks
+// arriving is the normal course of a growing suite.
+func Diff(w io.Writer, oldPath, newPath, guard string, threshold float64) (int, error) {
+	var guardRE *regexp.Regexp
+	if guard != "" {
+		var err error
+		if guardRE, err = regexp.Compile(guard); err != nil {
+			return 0, fmt.Errorf("bad -guard regexp: %v", err)
+		}
+	}
+	oldM, oldNames, err := loadDoc(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newM, newNames, err := loadDoc(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	failures := 0
+	guarded := 0
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range oldNames {
+		o := oldM[name]
+		isGuarded := guardRE != nil && guardRE.MatchString(name)
+		n, ok := newM[name]
+		if !ok {
+			tag := ""
+			if isGuarded {
+				tag = "  FAIL (guarded benchmark missing)"
+				failures++
+			}
+			fmt.Fprintf(w, "%-55s %14.1f %14s %9s%s\n", name, o.NsPerOp, "-", "gone", tag)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		tag := ""
+		if isGuarded {
+			guarded++
+			tag = "  [guarded]"
+			if delta > threshold {
+				tag = fmt.Sprintf("  FAIL (>%+.0f%%)", threshold*100)
+				failures++
+			}
+		}
+		fmt.Fprintf(w, "%-55s %14.1f %14.1f %+8.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta*100, tag)
+	}
+	for _, name := range newNames {
+		if _, ok := oldM[name]; !ok {
+			fmt.Fprintf(w, "%-55s %14s %14.1f %9s\n", name, "-", newM[name].NsPerOp, "new")
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "FAIL: %d guarded benchmark(s) regressed more than %.0f%% (ns/op)\n", failures, threshold*100)
+	} else {
+		fmt.Fprintf(w, "ok: %d guarded benchmark(s) within %.0f%% of %s\n", guarded, threshold*100, oldPath)
+	}
+	return failures, nil
 }
 
 func fail(msg string) {

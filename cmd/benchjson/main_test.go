@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +48,108 @@ func TestParseSkipsMalformed(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 {
 		t.Fatalf("malformed lines should be skipped: %+v", doc.Benchmarks)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo/bar-8":    "BenchmarkFoo/bar",
+		"BenchmarkFoo/bar":      "BenchmarkFoo/bar",
+		"BenchmarkFoo/n=16-128": "BenchmarkFoo/n=16",
+		"BenchmarkFoo/k-means":  "BenchmarkFoo/k-means", // non-numeric suffix kept
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// writeDoc records a Doc to a temp file for Diff tests.
+func writeDoc(t *testing.T, dir, name string, benches []Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Doc{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffGuardedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []Result{
+		{Name: "BenchmarkZeroOneScalarVsBits/bits-8", NsPerOp: 100},
+		{Name: "BenchmarkZeroOneScalarVsBits/scalar-8", NsPerOp: 100},
+	})
+	// Guarded bench 30% slower (recorded at a different GOMAXPROCS),
+	// unguarded bench 10x slower: only the guarded one counts.
+	nu := writeDoc(t, dir, "new.json", []Result{
+		{Name: "BenchmarkZeroOneScalarVsBits/bits-1", NsPerOp: 130},
+		{Name: "BenchmarkZeroOneScalarVsBits/scalar-1", NsPerOp: 1000},
+	})
+	var buf strings.Builder
+	failures, err := Diff(&buf, old, nu, defaultGuard, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", failures, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("output lacks FAIL marker:\n%s", buf.String())
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []Result{
+		{Name: "BenchmarkZeroOneScalarVsBits/bits-1", NsPerOp: 100},
+		{Name: "BenchmarkHalverEpsilon/bits-1", NsPerOp: 200},
+	})
+	nu := writeDoc(t, dir, "new.json", []Result{
+		{Name: "BenchmarkZeroOneScalarVsBits/bits-1", NsPerOp: 110},
+		{Name: "BenchmarkHalverEpsilon/bits-1", NsPerOp: 170}, // faster is always fine
+		{Name: "BenchmarkBrandNew", NsPerOp: 5},               // new benches never fail
+	})
+	var buf strings.Builder
+	failures, err := Diff(&buf, old, nu, defaultGuard, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0\n%s", failures, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok: 2 guarded") {
+		t.Fatalf("expected 2 guarded benchmarks in summary:\n%s", buf.String())
+	}
+}
+
+func TestDiffGuardedMissing(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []Result{
+		{Name: "BenchmarkZeroOneScalarVsBits/bits-1", NsPerOp: 100},
+	})
+	nu := writeDoc(t, dir, "new.json", []Result{
+		{Name: "BenchmarkSomethingElse", NsPerOp: 1},
+	})
+	var buf strings.Builder
+	failures, err := Diff(&buf, old, nu, defaultGuard, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("a guarded benchmark vanishing must fail the diff; got %d\n%s", failures, buf.String())
+	}
+}
+
+func TestDiffBadGuardRegexp(t *testing.T) {
+	dir := t.TempDir()
+	p := writeDoc(t, dir, "x.json", []Result{{Name: "BenchmarkX", NsPerOp: 1}})
+	if _, err := Diff(&strings.Builder{}, p, p, "(", 0.15); err == nil {
+		t.Fatal("expected an error for an invalid -guard regexp")
 	}
 }

@@ -81,6 +81,7 @@ func main() {
 	}
 	cli.Entry.Seed = *seed
 	cli.Entry.Set("quick", *quick)
+	cli.Entry.Set("workers", *workers)
 	ctx := cli.SetupContext(*timeout)
 
 	root := obs.NewSpan("experiments")

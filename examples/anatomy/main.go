@@ -12,7 +12,6 @@ package main
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"shufflenet/internal/core"
 	"shufflenet/internal/delta"
@@ -37,9 +36,12 @@ func main() {
 		p := pattern.Uniform(sub.Inputs(), pattern.M(0))
 		res := core.Lemma41(sub, p, k)
 		fmt.Printf("%d-level sub-network (%d slots): |A| = %d -> |B| = %d across %d nonempty sets\n",
-			lvl, sub.Inputs(), res.Initial, res.Survivors, len(res.Sets))
-		for _, i := range sortedKeys(res.Sets) {
-			fmt.Printf("   [M_%d] = slots %v\n", i, res.Sets[i])
+			lvl, sub.Inputs(), res.Initial, res.Survivors, res.SetCount())
+		for i, ws := range res.Sets {
+			if len(ws) == 0 {
+				continue
+			}
+			fmt.Printf("   [M_%d] = slots %v\n", i, ws)
 		}
 		fmt.Printf("   refined pattern: %v\n\n", res.Q)
 	}
@@ -50,20 +52,14 @@ func main() {
 	res := core.Lemma41(tree, p, k)
 	circ := tree.ToNetwork()
 	fmt.Println("root collections verified noncolliding by symbol simulation:")
-	for _, i := range sortedKeys(res.Sets) {
+	for i, ws := range res.Sets {
+		if len(ws) == 0 {
+			continue
+		}
 		ok := pattern.Noncolliding(circ, res.Q, pattern.M(i))
-		fmt.Printf("   [M_%d] (%d wires): noncolliding = %v\n", i, len(res.Sets[i]), ok)
+		fmt.Printf("   [M_%d] (%d wires): noncolliding = %v\n", i, len(ws), ok)
 	}
 	idx, largest := res.LargestSet()
 	fmt.Printf("\nTheorem 4.1 would now keep [M_%d] (%d wires), rename it to M_0\n", idx, len(largest))
 	fmt.Println("(Lemma 3.4), and push it into the next block.")
-}
-
-func sortedKeys(m map[int][]int) []int {
-	ks := make([]int, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Ints(ks)
-	return ks
 }

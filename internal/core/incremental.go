@@ -137,6 +137,9 @@ func (inc *Incremental) AddBlockCtx(ctx context.Context, pre perm.Perm, f delta.
 			tMax = res.T
 		}
 		for i, ws := range res.Sets {
+			if len(ws) == 0 {
+				continue
+			}
 			for _, w := range ws {
 				merged[i] = append(merged[i], off+w)
 			}

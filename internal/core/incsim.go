@@ -1,0 +1,143 @@
+package core
+
+import (
+	"shufflenet/internal/network"
+	"shufflenet/internal/pattern"
+)
+
+// Symbol ranks for the three-letter alphabet {S_0, M_0, L_0} the
+// optimum search enumerates. Compare on these patterns reduces to
+// integer comparison of the ranks (S < M < L in <_P), so the
+// incremental simulator works on bytes instead of Symbol structs.
+const (
+	rankS uint8 = 0
+	rankM uint8 = 1
+	rankL uint8 = 2
+)
+
+var rankSymbols = [3]pattern.Symbol{pattern.S(0), pattern.M(0), pattern.L(0)}
+
+// incSim extends a symbol simulation of a circuit one input wire at a
+// time, with O(fired comparators) undo — the engine under the
+// branch-and-bound in OptimalNoncolliding. The from-scratch
+// alternative (pattern.Noncolliding per leaf) re-simulates all
+// c.Size() comparators for every enumerated pattern; incSim fires each
+// comparator exactly once per DFS branch and rolls it back on
+// backtrack.
+//
+// The key observation is that a comparator's outcome is determined as
+// soon as every input wire in its cone of influence is assigned, and
+// the highest such wire ("maxSupport") is computable statically: rail r
+// starts with support {r}, and a comparator merges the supports of its
+// two rails. Grouping comparators by maxSupport ("trigger groups") and
+// firing group w when wire w is assigned replays exactly the
+// level-major simulation of pattern.EvalTrace restricted to determined
+// comparators: any comparator feeding one of c's rails has a cone
+// contained in c's, hence an equal-or-smaller maxSupport, so it fires
+// before c (in an earlier group, or earlier in the same group since
+// groups preserve level-major order); and comparators of incomparable
+// cones touch disjoint rails, so firing them out of order cannot
+// change what either sees.
+//
+// A consequence used for pruning: a collision (both inputs of a fired
+// comparator carrying M) witnessed while assigning wire w depends only
+// on wires <= w, so every completion of the current prefix collides —
+// the whole subtree is dead, not just the leaf.
+type incSim struct {
+	n     int
+	comps []incComp // level-major order
+	// trigger[w] lists (indices of) the comparators whose outcome
+	// becomes determined when wire w is assigned, ascending (=
+	// level-major within the group).
+	trigger [][]int32
+	// sym[r] is the symbol rank currently on rail r for the fired
+	// prefix of the simulation. Rails whose cone contains unassigned
+	// wires are never read (their comparators are in later groups).
+	sym []uint8
+	// trail records fired comparators for backtracking.
+	trail []incUndo
+}
+
+type incComp struct{ a, b int32 } // rails (a = min rail, b = max rail)
+
+type incUndo struct {
+	a, b    int32
+	swapped bool
+}
+
+// newIncSim builds the trigger schedule for c.
+func newIncSim(c *network.Network) *incSim {
+	n := c.Wires()
+	s := &incSim{
+		n:       n,
+		comps:   make([]incComp, 0, c.Size()),
+		trigger: make([][]int32, n),
+		sym:     make([]uint8, n),
+		trail:   make([]incUndo, 0, c.Size()),
+	}
+	// coneMax[r] = highest input wire influencing the value on rail r
+	// after the comparators scanned so far.
+	coneMax := make([]int, n)
+	for r := range coneMax {
+		coneMax[r] = r
+	}
+	for _, lv := range c.Levels() {
+		for _, cm := range lv {
+			ms := coneMax[cm.Min]
+			if coneMax[cm.Max] > ms {
+				ms = coneMax[cm.Max]
+			}
+			coneMax[cm.Min], coneMax[cm.Max] = ms, ms
+			s.trigger[ms] = append(s.trigger[ms], int32(len(s.comps)))
+			s.comps = append(s.comps, incComp{a: int32(cm.Min), b: int32(cm.Max)})
+		}
+	}
+	return s
+}
+
+// mark returns the current trail position; pass it to undo to roll the
+// simulation back to this point.
+func (s *incSim) mark() int { return len(s.trail) }
+
+// assign sets input wire w (which must be the next unassigned wire,
+// with all wires < w assigned and their trigger groups fired) to the
+// given rank and fires the comparators of trigger group w. It reports
+// false if any of them collides (sees M on both inputs): the caller
+// must then undo to its mark and try another branch — every completion
+// of this prefix is colliding. Rail w still holds wire w's own value
+// when the group fires: any comparator touching rail w has w in its
+// cone, so it is in group >= w.
+func (s *incSim) assign(w int, rank uint8) bool {
+	s.sym[w] = rank
+	for _, ci := range s.trigger[w] {
+		cm := s.comps[ci]
+		sa, sb := s.sym[cm.a], s.sym[cm.b]
+		if sa == sb {
+			if sa == rankM {
+				return false // M-M collision: subtree dead
+			}
+			// Equal non-M symbols stay in place (EvalTrace convention);
+			// nothing to record beyond the no-op.
+			s.trail = append(s.trail, incUndo{a: cm.a, b: cm.b, swapped: false})
+			continue
+		}
+		swapped := sa > sb
+		if swapped {
+			s.sym[cm.a], s.sym[cm.b] = sb, sa
+		}
+		s.trail = append(s.trail, incUndo{a: cm.a, b: cm.b, swapped: swapped})
+	}
+	return true
+}
+
+// undo rolls the simulation back to a previous mark, unswapping fired
+// comparators in reverse order.
+func (s *incSim) undo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		u := s.trail[i]
+		if u.swapped {
+			s.sym[u.a], s.sym[u.b] = s.sym[u.b], s.sym[u.a]
+		}
+	}
+	s.trail = s.trail[:mark]
+}

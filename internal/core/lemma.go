@@ -45,9 +45,11 @@ type LemmaResult struct {
 	// Q is the refined input pattern over the tree's slots: an
 	// A-refinement of the input pattern (paper notation: p ⊐_A q).
 	Q pattern.Pattern
-	// Sets maps set index i to the [M_i]-set of Q (input slots).
-	// Only nonempty sets are present; every index is < T.
-	Sets map[int][]int
+	// Sets[i] is the [M_i]-set of Q (input slots, increasing order).
+	// The slice has length T; indices with no surviving wires are nil.
+	// The set index is dense (< t(l)), so a flat slice replaces the
+	// map the recursion used to carry per node.
+	Sets [][]int
 	// T is t(l) = k³ + l·k², the bound on the number of sets.
 	T int
 	// OutWire[o] is the input slot whose value reaches output slot o
@@ -75,16 +77,23 @@ func (r *LemmaResult) OutPattern() pattern.Pattern {
 	return out
 }
 
+// SetCount returns the number of nonempty surviving sets.
+func (r *LemmaResult) SetCount() int {
+	n := 0
+	for _, s := range r.Sets {
+		if len(s) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // LargestSet returns the index and wires of a largest surviving set
 // (ties broken toward the smallest index), or (-1, nil) if all sets are
 // empty.
 func (r *LemmaResult) LargestSet() (int, []int) {
-	best, bestIdx := -1, -1
-	for i := 0; i < r.T; i++ {
-		s, ok := r.Sets[i]
-		if !ok {
-			continue
-		}
+	best, bestIdx := 0, -1
+	for i, s := range r.Sets {
 		if len(s) > best {
 			best, bestIdx = len(s), i
 		}
@@ -127,11 +136,39 @@ func Lemma41Ctx(ctx context.Context, d *delta.Network, p pattern.Pattern, k int)
 	metLemmaTrees.Inc()
 	metLemmaWires.Add(int64(d.Inputs()))
 	metLemmaLevels.Add(int64(d.Levels()))
-	res := lemmaRec(d, p, k, ctx.Done())
-	if res == nil {
+
+	// One allocation block for the whole run: the recursion mutates
+	// disjoint subranges of these buffers in place instead of cloning
+	// patterns and rebuilding collections at every node.
+	n := d.Inputs()
+	st := &lemmaState{
+		q:       p.Clone(),
+		outWire: make([]int, n),
+		setIdx:  make([]int, n),
+	}
+	nr, ok := lemmaRec(d, st, 0, k, newLemmaScratch(k), ctx.Done())
+	if !ok {
 		return nil, &par.ErrCanceled{Op: "core.Lemma41", Cause: ctx.Err()}
 	}
-	metLemmaCollisions.Add(int64(res.Collisions))
+	metLemmaCollisions.Add(int64(nr.collisions))
+
+	t := k*k*k + d.Levels()*k*k
+	sets := make([][]int, t)
+	for w, j := range st.setIdx {
+		if j >= 0 {
+			sets[j] = append(sets[j], w)
+		}
+	}
+	res := &LemmaResult{
+		Q:          st.q,
+		Sets:       sets,
+		T:          t,
+		OutWire:    st.outWire,
+		Survivors:  nr.survivors,
+		Initial:    nr.initial,
+		Collisions: nr.collisions,
+		xNext:      nr.xNext,
+	}
 	// Paper invariant: |B| >= |A| - l*|A|/k².
 	if float64(res.Survivors) < float64(res.Initial)-float64(d.Levels()*res.Initial)/float64(k*k)-1e-9 {
 		panic(fmt.Sprintf("core.Lemma41: survival bound violated: |B|=%d |A|=%d l=%d k=%d",
@@ -147,90 +184,135 @@ func Lemma41Ctx(ctx context.Context, d *delta.Network, p pattern.Pattern, k int)
 // parallelism at the top of the recursion.
 const parallelSubtree = 1 << 11
 
-// lemmaRec is the induction of Lemma 4.1. All slot indices in the
-// result are local to d. done is the caller's cancellation channel
-// (nil when the run is not cancelable); a closed done makes the whole
-// recursion unwind with a nil result. One probe per node keeps the
-// per-comparator loops branch-free, and a nil done is a single pointer
-// check — the non-cancelable path is unchanged.
-func lemmaRec(d *delta.Network, p pattern.Pattern, k int, done <-chan struct{}) *LemmaResult {
+// setRemoved marks a slot whose wire was just charged to the collision
+// set C_{j,j-i0} at the current node: the renaming loop turns it into an
+// X symbol and downgrades the mark to -1 (untracked).
+const setRemoved = -2
+
+// lemmaState is the shared per-run state of the Lemma 4.1 recursion. A
+// node over slots [base, base+m) owns exactly that subrange of each
+// buffer; the two sub-recursions touch disjoint ranges, so the parallel
+// fork needs no locking.
+type lemmaState struct {
+	// q is the pattern being refined in place (global slot indexing).
+	q pattern.Pattern
+	// outWire[base+o] is the global input slot whose value reaches the
+	// subtree-local output slot o.
+	outWire []int
+	// setIdx[w] is the index of the noncolliding set containing global
+	// slot w, or -1 (untracked) or setRemoved (being removed at the
+	// current node). This inverted representation makes the per-node
+	// set lookup O(1) — it replaces both the map collection and the
+	// setOf linear scan on the assertion path.
+	setIdx []int
+}
+
+// lemmaScratch is per-goroutine scratch reused across the nodes of a
+// (sub-)recursion: the meeting list and the averaging histogram. The
+// parallel fork hands the spawned goroutine a fresh scratch; everything
+// else on the hot path reuses the parent's buffers, so steady-state
+// node processing allocates nothing.
+type lemmaScratch struct {
+	meetings    []lemmaMeeting
+	offsetCount []int // len k²
+}
+
+// lemmaMeeting records one final-level meeting of two tracked wires:
+// global slot w0 on the sub0 side, set indices j0 (sub0) and j1 (sub1).
+type lemmaMeeting struct{ w0, j0, j1 int }
+
+func newLemmaScratch(k int) *lemmaScratch {
+	return &lemmaScratch{offsetCount: make([]int, k*k)}
+}
+
+// lemmaNode is the by-value summary a recursion level hands its parent;
+// the heavy state lives in the shared lemmaState buffers.
+type lemmaNode struct {
+	survivors, initial, collisions, xNext int
+}
+
+// lemmaRec is the induction of Lemma 4.1 over the subtree d occupying
+// global slots [base, base+d.Inputs()). done is the caller's
+// cancellation channel (nil when the run is not cancelable); a closed
+// done makes the whole recursion unwind with ok = false. One probe per
+// node keeps the per-comparator loops branch-free, and a nil done is a
+// single pointer check — the non-cancelable path is unchanged.
+func lemmaRec(d *delta.Network, st *lemmaState, base, k int, sc *lemmaScratch, done <-chan struct{}) (lemmaNode, bool) {
 	if done != nil {
 		select {
 		case <-done:
-			return nil
+			return lemmaNode{}, false
 		default:
 		}
 	}
-	k2 := k * k
-	t := func(l int) int { return k*k2 + l*k2 }
 
 	if d.Levels() == 0 {
-		// Base case: M_0 := A, all other sets empty, q := p.
-		res := &LemmaResult{
-			Q:       p.Clone(),
-			Sets:    map[int][]int{},
-			T:       t(0),
-			OutWire: []int{0},
-			Initial: 0,
+		// Base case: M_0 := A, all other sets empty, q := p (in place).
+		nr := lemmaNode{}
+		st.outWire[base] = base
+		if st.q[base] == pattern.M(0) {
+			st.setIdx[base] = 0
+			nr.survivors, nr.initial = 1, 1
+		} else {
+			st.setIdx[base] = -1
 		}
-		if p[0] == pattern.M(0) {
-			res.Sets[0] = []int{0}
-			res.Survivors, res.Initial = 1, 1
-		}
-		res.xNext = 0
-		return res
+		return nr, true
 	}
 
 	h := d.Inputs() / 2
 	l := d.Levels() - 1 // sub-networks have l levels; this node is level l+1
+	k2 := k * k
+	tl := k*k2 + l*k2 // t(l)
 
 	// The two sub-recursions touch disjoint slot ranges and share no
-	// state, so above a size threshold they run concurrently. The
-	// result is bit-identical to the sequential order (all averaging
-	// ties are broken deterministically).
-	var st0, st1 *LemmaResult
+	// state, so above a size threshold they run concurrently (the
+	// spawned side gets its own scratch). The result is bit-identical
+	// to the sequential order (all averaging ties are broken
+	// deterministically).
+	var st0, st1 lemmaNode
+	var ok0, ok1 bool
 	if h >= parallelSubtree {
 		joined := make(chan struct{})
 		go func() {
 			defer close(joined)
-			st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k, done)
+			st1, ok1 = lemmaRec(d.Sub(1), st, base+h, k, newLemmaScratch(k), done)
 		}()
-		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k, done)
+		st0, ok0 = lemmaRec(d.Sub(0), st, base, k, sc, done)
 		<-joined
 	} else {
-		st0 = lemmaRec(d.Sub(0), p[:h].Clone(), k, done)
-		if st0 == nil {
-			return nil
+		st0, ok0 = lemmaRec(d.Sub(0), st, base, k, sc, done)
+		if !ok0 {
+			return lemmaNode{}, false
 		}
-		st1 = lemmaRec(d.Sub(1), p[h:].Clone(), k, done)
+		st1, ok1 = lemmaRec(d.Sub(1), st, base+h, k, sc, done)
 	}
-	if st0 == nil || st1 == nil {
-		return nil // canceled somewhere below; unwind
+	if !ok0 || !ok1 {
+		return lemmaNode{}, false // canceled somewhere below; unwind
 	}
-
-	// setOf[side][slot] = index of the set containing the slot, or -1.
-	setOf0 := indexSets(st0.Sets, h)
-	setOf1 := indexSets(st1.Sets, h)
 
 	// Final-level meetings between tracked wires: for each comparator,
-	// the values arriving are those of st.OutWire at the comparator's
+	// the values arriving are those of outWire at the comparator's
 	// slots. A meeting between M_{0,i} and M_{1,j} contributes the
 	// sub0 wire to C_{i,j}; the paper's L_offset collects C_{j, j-offset}.
-	type meeting struct{ w0, j0, j1 int }
-	var meetings []meeting
-	offsetCount := make([]int, k2)
-	for _, cmp := range d.Final() {
-		w0 := st0.OutWire[cmp.O0]
-		w1 := st1.OutWire[cmp.O1]
-		j0, j1 := setOf0[w0], setOf1[w1]
+	fin := d.Final()
+	meetings := sc.meetings[:0]
+	offsetCount := sc.offsetCount
+	for i := range offsetCount {
+		offsetCount[i] = 0
+	}
+	for _, cmp := range fin {
+		w0 := st.outWire[base+cmp.O0]
+		w1 := st.outWire[base+h+cmp.O1]
+		j0, j1 := st.setIdx[w0], st.setIdx[w1]
 		if j0 < 0 || j1 < 0 {
 			continue
 		}
-		meetings = append(meetings, meeting{w0: w0, j0: j0, j1: j1})
+		meetings = append(meetings, lemmaMeeting{w0: w0, j0: j0, j1: j1})
 		if off := j0 - j1; off >= 0 && off < k2 {
 			offsetCount[off]++
 		}
 	}
+	sc.meetings = meetings // keep the grown capacity for later nodes
 
 	// Averaging: choose i0 minimizing |L_{i0}|.
 	i0 := 0
@@ -240,81 +322,59 @@ func lemmaRec(d *delta.Network, p pattern.Pattern, k int, done <-chan struct{}) 
 		}
 	}
 
-	// removed: wires of C_{j, j-i0} (sub0 side), grouped by set index.
-	removed := map[int]bool{}
+	// Mark the wires of C_{j, j-i0} (sub0 side) for removal. Each sub0
+	// wire appears in at most one final comparator, so the marks are
+	// distinct.
+	removed := 0
 	for _, m := range meetings {
 		if m.j0-m.j1 == i0 {
-			removed[m.w0] = true
+			st.setIdx[m.w0] = setRemoved
+			removed++
 		}
 	}
 
 	// Renaming step 1 / 1' (defensive; such symbols normally absent):
 	// shift M_i / X_{i,j} with i >= t(l) (sub0) or i >= t(l)+i0 (sub1)
 	// up by k². Step 2: removed sub0 wires M_j -> X(j, j0fresh).
-	// Step 2': shift all sub1 M_i / X_{i,j} with i < t(l) up by i0.
+	// Step 2': shift all sub1 M_i / X_{i,j} with i < t(l) up by i0 —
+	// which realizes the merge M_j := (M_{0,j} \ C_{j,j-i0}) ∪ M_{1,j-i0}
+	// directly on the setIdx marks.
 	xFresh := maxInt(st0.xNext, st1.xNext)
 	usedFresh := false
-
-	q := make(pattern.Pattern, d.Inputs())
-	for w := 0; w < h; w++ {
-		s := st0.Q[w]
-		s = shiftFrom(s, t(l), k2)
-		if removed[w] {
+	for w := base; w < base+h; w++ {
+		s := shiftFrom(st.q[w], tl, k2)
+		if st.setIdx[w] == setRemoved {
 			if s.Kind != pattern.KindM {
-				panic(fmt.Sprintf("core: removed wire %d carries %v, want an M symbol", w, s))
+				panic(fmt.Sprintf("core: removed wire %d carries %v, want an M symbol", w-base, s))
 			}
 			s = pattern.X(s.I, xFresh)
 			usedFresh = true
+			st.setIdx[w] = -1
 		}
-		q[w] = s
+		st.q[w] = s
 	}
-	for w := 0; w < h; w++ {
-		s := st1.Q[w]
-		s = shiftFrom(s, t(l)+i0, k2)
-		s = shiftBelow(s, t(l), i0)
-		q[h+w] = s
+	for w := base + h; w < base+2*h; w++ {
+		s := shiftFrom(st.q[w], tl+i0, k2)
+		st.q[w] = shiftBelow(s, tl, i0)
+		if st.setIdx[w] >= 0 {
+			st.setIdx[w] += i0
+		}
 	}
 	if usedFresh {
 		xFresh++
 	}
 
-	// Merge the collections: M_j := (M_{0,j} \ C_{j,j-i0}) ∪ M_{1,j-i0}.
-	sets := map[int][]int{}
-	for j, ws := range st0.Sets {
-		var kept []int
-		for _, w := range ws {
-			if !removed[w] {
-				kept = append(kept, w)
-			}
-		}
-		if len(kept) > 0 {
-			sets[j] = kept
-		}
-	}
-	for j, ws := range st1.Sets {
-		nj := j + i0
-		dst := sets[nj]
-		for _, w := range ws {
-			dst = append(dst, h+w)
-		}
-		sets[nj] = dst
-	}
-
-	// Output wires: sub outputs concatenated, then the final level
-	// applied with the *renamed* symbols (renamings are order-preserving
-	// so earlier routing decisions are unaffected).
-	outWire := make([]int, d.Inputs())
-	copy(outWire, st0.OutWire)
-	for o, w := range st1.OutWire {
-		outWire[h+o] = h + w
-	}
-	for _, cmp := range d.Final() {
-		oa, ob := cmp.O0, h+cmp.O1
-		sa, sb := q[outWire[oa]], q[outWire[ob]]
-		c := pattern.Compare(sa, sb)
+	// Output wires: the sub-recursions already wrote the concatenation
+	// (global slots), so only the final level remains, applied with the
+	// *renamed* symbols (renamings are order-preserving so earlier
+	// routing decisions are unaffected).
+	for _, cmp := range fin {
+		oa, ob := base+cmp.O0, base+h+cmp.O1
+		wa, wb := st.outWire[oa], st.outWire[ob]
+		c := pattern.Compare(st.q[wa], st.q[wb])
 		if c == 0 {
 			// Ambiguous meeting: both sides must now be untracked.
-			if setOf(sets, outWire[oa]) >= 0 && setOf(sets, outWire[ob]) >= 0 {
+			if st.setIdx[wa] >= 0 && st.setIdx[wb] >= 0 {
 				panic("core: tracked wires still collide after removal")
 			}
 			continue // convention: equal symbols stay in place
@@ -322,54 +382,16 @@ func lemmaRec(d *delta.Network, p pattern.Pattern, k int, done <-chan struct{}) 
 		// Route min to the MinFirst side.
 		minAtA := c < 0
 		if cmp.MinFirst != minAtA {
-			outWire[oa], outWire[ob] = outWire[ob], outWire[oa]
+			st.outWire[oa], st.outWire[ob] = wb, wa
 		}
 	}
 
-	surv := 0
-	for _, ws := range sets {
-		surv += len(ws)
-	}
-	return &LemmaResult{
-		Q:          q,
-		Sets:       sets,
-		T:          t(l + 1),
-		OutWire:    outWire,
-		Survivors:  surv,
-		Initial:    st0.Initial + st1.Initial,
-		Collisions: st0.Collisions + st1.Collisions + len(removed),
+	return lemmaNode{
+		survivors:  st0.survivors + st1.survivors - removed,
+		initial:    st0.initial + st1.initial,
+		collisions: st0.collisions + st1.collisions + removed,
 		xNext:      xFresh,
-	}
-}
-
-// indexSets builds slot -> set-index lookup for a collection.
-func indexSets(sets map[int][]int, n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = -1
-	}
-	for j, ws := range sets {
-		for _, w := range ws {
-			if idx[w] != -1 {
-				panic(fmt.Sprintf("core: slot %d in two sets (%d and %d)", w, idx[w], j))
-			}
-			idx[w] = j
-		}
-	}
-	return idx
-}
-
-// setOf does a linear lookup of the set containing slot w (-1 if none);
-// used only on the final-level assertion path.
-func setOf(sets map[int][]int, w int) int {
-	for j, ws := range sets {
-		for _, x := range ws {
-			if x == w {
-				return j
-			}
-		}
-	}
-	return -1
+	}, true
 }
 
 // shiftFrom shifts M_i -> M_{i+by} and X_{i,j} -> X_{i+by,j} for all

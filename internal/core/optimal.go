@@ -1,63 +1,256 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"shufflenet/internal/network"
+	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 )
 
 // MaxOptimalWires bounds OptimalNoncolliding's 3^n pattern enumeration.
-const MaxOptimalWires = 16
+// The branch-and-bound with incremental collision pruning (incSim)
+// raised this from 16: the A2 workloads at n=16 dropped from minutes to
+// milliseconds. The cap is set by the measured worst case, dense
+// random circuits — their optimum is small, so neither the incumbent
+// bound nor collision pruning cuts early — at ~12s on one slow core
+// for n=20 with 100 comparators; friendly circuits (butterflies,
+// sparse levels, RDN stacks) finish n=20 in well under a second.
+const MaxOptimalWires = 20
 
-// OptimalNoncolliding finds, by brute force over all 3^n patterns with
-// symbols {S_0, M_0, L_0}, a largest noncolliding [M_0]-set in the
-// circuit — the best any adversary of the paper's form could possibly
-// achieve on this network. It returns the set size, the witnessing
-// pattern, and the set itself.
+// optimalPrefixDigits fans the top wires out as independent
+// branch-and-bound roots (3^digits prefixes). The prefixes are scanned
+// in DFS order by a worker pool sharing one atomic incumbent, so the
+// split is both the parallel decomposition and a work queue fine
+// enough (81 prefixes) to balance uneven subtrees.
+const optimalPrefixDigits = 4
+
+// optimalRanks maps a base-3 prefix digit to a symbol rank; the order
+// (M, S, L) matches the DFS branch order below, so ascending prefix
+// index is exactly sequential DFS order.
+var optimalRanks = [3]uint8{rankM, rankS, rankL}
+
+// OptimalNoncolliding finds, over all 3^n patterns with symbols
+// {S_0, M_0, L_0}, a largest noncolliding [M_0]-set in the circuit —
+// the best any adversary of the paper's form could possibly achieve on
+// this network. It returns the set size, the witnessing pattern, and
+// the set itself.
+//
+// The search is branch-and-bound: patterns are enumerated wire by wire
+// (M, then S, then L at each wire — M first so large sets are found
+// early and the incumbent bound bites), and an incremental simulation
+// (incSim) fires each comparator as soon as its cone of influence is
+// fully assigned. A collision witnessed while assigning wire w depends
+// only on wires <= w and so condemns every completion of the prefix:
+// colliding branches are cut at the node instead of being re-simulated
+// from scratch at each of their 3^(n-w) leaves, which is where the
+// speedup over the old per-leaf pattern.Noncolliding search comes
+// from. The result — including which of several maximum-size patterns
+// is returned — is identical to the old sequential first-maximum DFS,
+// for any worker count (see optimalPacked).
 //
 // The constructive Lemma 4.1/Theorem 4.1 adversary is a lower bound on
 // this optimum; comparing the two (experiment A2) measures the
 // per-instance slack of the paper's argument. n must be at most
 // MaxOptimalWires.
 func OptimalNoncolliding(c *network.Network) (int, pattern.Pattern, []int) {
+	size, p, set, _ := OptimalNoncollidingCtx(context.Background(), c, 0)
+	return size, p, set
+}
+
+// optimalPacked orders (set size, prefix index) pairs so that a bigger
+// set always wins and, among equal sizes, the earlier prefix wins:
+// packed = size<<32 | (prefixes - prefix). The shared incumbent is the
+// maximum published pack, and a branch with upper bound U in prefix p
+// is cut iff pack(U, p) <= incumbent: the branch cannot strictly beat
+// a known set, except by tying one found in an earlier prefix — and
+// "first maximum in DFS order" means the earlier prefix's set is the
+// answer regardless. Cutting an early branch via a later, larger
+// incumbent is safe too: anything the branch could still contribute is
+// strictly smaller than a set that provably exists elsewhere, so the
+// final reduce could never pick it.
+func optimalPacked(size, prefixes, prefix int) int64 {
+	return int64(size)<<32 | int64(prefixes-prefix)
+}
+
+// OptimalNoncollidingCtx is OptimalNoncolliding under a context and an
+// explicit worker count (0 = GOMAXPROCS). The search probes for
+// cancellation between prefixes and every few thousand DFS nodes; on
+// cancellation the incumbent so far is discarded — a partial
+// enumeration proves no optimum — and a *par.ErrCanceled is returned.
+func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int) (int, pattern.Pattern, []int, error) {
 	n := c.Wires()
 	if n > MaxOptimalWires {
 		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds %d (3^n patterns)", n, MaxOptimalWires))
 	}
-	symbols := [3]pattern.Symbol{pattern.S(0), pattern.M(0), pattern.L(0)}
-	p := make(pattern.Pattern, n)
-	var bestP pattern.Pattern
-	var bestSize int
 
-	// Enumerate base-3 assignments; prune branches that cannot beat the
-	// incumbent (remaining wires all M would still be too small).
-	var rec func(w, mCount int)
-	rec = func(w, mCount int) {
-		if mCount+(n-w) <= bestSize {
-			return // cannot beat the incumbent
-		}
-		if w == n {
-			if mCount > bestSize && pattern.Noncolliding(c, p, pattern.M(0)) {
-				bestSize = mCount
-				bestP = p.Clone()
-			}
-			return
-		}
-		// Try M first so large sets are found early (better pruning).
-		p[w] = symbols[1]
-		rec(w+1, mCount+1)
-		p[w] = symbols[0]
-		rec(w+1, mCount)
-		p[w] = symbols[2]
-		rec(w+1, mCount)
+	digits := optimalPrefixDigits
+	if digits > n {
+		digits = n
 	}
-	rec(0, 0)
-	if bestP == nil {
+	prefixes := 1
+	for i := 0; i < digits; i++ {
+		prefixes *= 3
+	}
+
+	// results[p] is prefix p's local best: its first maximum-size
+	// noncolliding leaf in DFS order, among leaves the cut rule cannot
+	// prove irrelevant.
+	type localBest struct {
+		size  int
+		ranks []uint8
+	}
+	results := make([]localBest, prefixes)
+	var incumbent atomic.Int64
+	var nextPrefix atomic.Int64
+	var canceled atomic.Bool
+	done := ctx.Done()
+
+	worker := func() {
+		sim := newIncSim(c)
+		ranks := make([]uint8, n)
+		probe := 0
+		const probeEvery = 1 << 13
+
+		checkCancel := func() bool {
+			if canceled.Load() {
+				return true
+			}
+			if done != nil {
+				select {
+				case <-done:
+					canceled.Store(true)
+					return true
+				default:
+				}
+			}
+			return false
+		}
+
+		for {
+			p := int(nextPrefix.Add(1) - 1)
+			if p >= prefixes || checkCancel() {
+				return
+			}
+
+			// Assign the prefix digits (most significant digit = wire 0).
+			sim.undo(0)
+			mCount := 0
+			live := true
+			for w, rest, div := 0, p, prefixes/3; w < digits; w++ {
+				rank := optimalRanks[rest/div]
+				rest %= div
+				if div > 1 {
+					div /= 3
+				}
+				ranks[w] = rank
+				if rank == rankM {
+					mCount++
+				}
+				if !sim.assign(w, rank) {
+					live = false // the prefix itself collides: subtree dead
+					break
+				}
+			}
+			if !live {
+				continue
+			}
+
+			local := &results[p]
+			var dfs func(w, mCount int) bool
+			dfs = func(w, mCount int) bool {
+				upper := mCount + n - w
+				if upper <= local.size {
+					return true
+				}
+				if optimalPacked(upper, prefixes, p) <= incumbent.Load() {
+					return true
+				}
+				if probe++; probe >= probeEvery {
+					probe = 0
+					if checkCancel() {
+						return false
+					}
+				}
+				if w == n {
+					// Reaching a leaf means no fired comparator ever saw
+					// M on both inputs — the pattern is noncolliding.
+					local.size = mCount
+					local.ranks = append(local.ranks[:0], ranks...)
+					pack := optimalPacked(mCount, prefixes, p)
+					for {
+						cur := incumbent.Load()
+						if pack <= cur || incumbent.CompareAndSwap(cur, pack) {
+							break
+						}
+					}
+					return true
+				}
+				mark := sim.mark()
+				ranks[w] = rankM
+				if sim.assign(w, rankM) && !dfs(w+1, mCount+1) {
+					return false
+				}
+				sim.undo(mark)
+				ranks[w] = rankS
+				if sim.assign(w, rankS) && !dfs(w+1, mCount) {
+					return false
+				}
+				sim.undo(mark)
+				ranks[w] = rankL
+				if sim.assign(w, rankL) && !dfs(w+1, mCount) {
+					return false
+				}
+				sim.undo(mark)
+				return true
+			}
+			if !dfs(digits, mCount) {
+				return
+			}
+		}
+	}
+
+	if nw := par.Workers(prefixes, workers); nw <= 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < nw; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	if canceled.Load() {
+		return 0, nil, nil, &par.ErrCanceled{Op: "core.OptimalNoncolliding", Cause: ctx.Err()}
+	}
+
+	// Reduce in prefix (= DFS) order with strict improvement: together
+	// with the cut rule this reproduces the sequential first-maximum
+	// answer exactly, for any worker count or scheduling.
+	bestSize := 0
+	var bestRanks []uint8
+	for p := range results {
+		if results[p].size > bestSize {
+			bestSize, bestRanks = results[p].size, results[p].ranks
+		}
+	}
+	var bestP pattern.Pattern
+	if bestRanks == nil {
 		// Any singleton M-set is trivially noncolliding.
 		bestP = pattern.Uniform(n, pattern.S(0))
 		bestP[0] = pattern.M(0)
 		bestSize = 1
+	} else {
+		bestP = make(pattern.Pattern, n)
+		for w, r := range bestRanks {
+			bestP[w] = rankSymbols[r]
+		}
 	}
-	return bestSize, bestP, bestP.Set(pattern.M(0))
+	return bestSize, bestP, bestP.Set(pattern.M(0)), nil
 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"shufflenet/internal/delta"
+	"shufflenet/internal/network"
+	"shufflenet/internal/par"
+	"shufflenet/internal/pattern"
+	"shufflenet/internal/perm"
+)
+
+// bruteOptimalNoncolliding is the pre-branch-and-bound implementation,
+// kept verbatim as the oracle: plain 3^n DFS with a from-scratch
+// pattern.Noncolliding simulation at every leaf. The new search must
+// reproduce its result exactly — size, witnessing pattern, and set.
+func bruteOptimalNoncolliding(c *network.Network) (int, pattern.Pattern, []int) {
+	n := c.Wires()
+	symbols := [3]pattern.Symbol{pattern.S(0), pattern.M(0), pattern.L(0)}
+	p := make(pattern.Pattern, n)
+	var bestP pattern.Pattern
+	var bestSize int
+	var rec func(w, mCount int)
+	rec = func(w, mCount int) {
+		if mCount+(n-w) <= bestSize {
+			return
+		}
+		if w == n {
+			if mCount > bestSize && pattern.Noncolliding(c, p, pattern.M(0)) {
+				bestSize = mCount
+				bestP = p.Clone()
+			}
+			return
+		}
+		p[w] = symbols[1]
+		rec(w+1, mCount+1)
+		p[w] = symbols[0]
+		rec(w+1, mCount)
+		p[w] = symbols[2]
+		rec(w+1, mCount)
+	}
+	rec(0, 0)
+	if bestP == nil {
+		bestP = pattern.Uniform(n, pattern.S(0))
+		bestP[0] = pattern.M(0)
+		bestSize = 1
+	}
+	return bestSize, bestP, bestP.Set(pattern.M(0))
+}
+
+// testCircuits returns a mix of small circuits exercising the search:
+// butterflies, sparse and dense random RDNs, and a two-block stack with
+// a random inter-block permutation (comparators across distant wires,
+// like the A2 workloads).
+func testCircuits(maxWires int, rng *rand.Rand) []*network.Network {
+	var cs []*network.Network
+	for l := 1; l <= 3; l++ {
+		if 1<<l > maxWires {
+			break
+		}
+		cs = append(cs, delta.Butterfly(l).ToNetwork())
+		cs = append(cs, delta.Random(l, 0.4, rng).ToNetwork())
+		cs = append(cs, delta.Random(l, 1.0, rng).ToNetwork())
+	}
+	if maxWires >= 8 {
+		it := delta.NewIterated(8).AddBlock(nil, delta.Butterfly(3))
+		it.AddBlock(perm.Random(8, rng), delta.Butterfly(3))
+		circ, _ := it.ToNetwork()
+		cs = append(cs, circ)
+	}
+	cs = append(cs, network.New(minInt(6, maxWires))) // comparator-free
+	return cs
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestOptimalNoncollidingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for ci, c := range testCircuits(8, rng) {
+		wantSize, wantP, wantSet := bruteOptimalNoncolliding(c)
+		gotSize, gotP, gotSet := OptimalNoncolliding(c)
+		if gotSize != wantSize {
+			t.Fatalf("circuit %d: size %d, oracle %d", ci, gotSize, wantSize)
+		}
+		if !gotP.Equal(wantP) {
+			t.Fatalf("circuit %d: pattern %v, oracle %v", ci, gotP, wantP)
+		}
+		if len(gotSet) != len(wantSet) {
+			t.Fatalf("circuit %d: set %v, oracle %v", ci, gotSet, wantSet)
+		}
+		for i := range gotSet {
+			if gotSet[i] != wantSet[i] {
+				t.Fatalf("circuit %d: set %v, oracle %v", ci, gotSet, wantSet)
+			}
+		}
+	}
+}
+
+// The worker pool must not change the answer: the packed-incumbent cut
+// rule makes the search deterministic for any worker count and any
+// scheduling, including which of several maximum-size patterns wins.
+func TestOptimalNoncollidingWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := 4
+	circs := []*network.Network{
+		delta.Butterfly(l).ToNetwork(),
+		delta.Random(l, 0.6, rng).ToNetwork(),
+	}
+	for ci, c := range circs {
+		s1, p1, set1, err1 := OptimalNoncollidingCtx(context.Background(), c, 1)
+		s8, p8, set8, err8 := OptimalNoncollidingCtx(context.Background(), c, 8)
+		if err1 != nil || err8 != nil {
+			t.Fatalf("circuit %d: unexpected errors %v, %v", ci, err1, err8)
+		}
+		if s1 != s8 || !p1.Equal(p8) || len(set1) != len(set8) {
+			t.Fatalf("circuit %d: workers=1 gives (%d,%v), workers=8 gives (%d,%v)",
+				ci, s1, p1, s8, p8)
+		}
+		for i := range set1 {
+			if set1[i] != set8[i] {
+				t.Fatalf("circuit %d: sets differ across worker counts", ci)
+			}
+		}
+	}
+}
+
+func TestOptimalNoncollidingCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := OptimalNoncollidingCtx(ctx, delta.Butterfly(3).ToNetwork(), 2)
+	var ce *par.ErrCanceled
+	if !asErrCanceled(err, &ce) {
+		t.Fatalf("err = %v, want *par.ErrCanceled", err)
+	}
+}
+
+func asErrCanceled(err error, out **par.ErrCanceled) bool {
+	ce, ok := err.(*par.ErrCanceled)
+	if ok {
+		*out = ce
+	}
+	return ok
+}
+
+// The incremental simulator must agree with the from-scratch
+// level-major simulation on every circuit and pattern: assigning all
+// wires succeeds iff the pattern's [M_0]-set is noncolliding, and on
+// success the final rail symbols equal pattern.Eval's output.
+func TestIncSimDifferentialNoncolliding(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, c := range testCircuits(16, rng) {
+		n := c.Wires()
+		sim := newIncSim(c)
+		for trial := 0; trial < 200; trial++ {
+			p := make(pattern.Pattern, n)
+			ranks := make([]uint8, n)
+			for w := range p {
+				r := uint8(rng.Intn(3))
+				ranks[w] = r
+				p[w] = rankSymbols[r]
+			}
+			sim.undo(0)
+			ok := true
+			for w := 0; w < n && ok; w++ {
+				ok = sim.assign(w, ranks[w])
+			}
+			want := pattern.Noncolliding(c, p, pattern.M(0))
+			if ok != want {
+				t.Fatalf("n=%d pattern %v: incSim says %v, Noncolliding says %v", n, p, ok, want)
+			}
+			if !ok {
+				continue
+			}
+			out := pattern.Eval(c, p)
+			for r := 0; r < n; r++ {
+				if rankSymbols[sim.sym[r]] != out[r] {
+					t.Fatalf("n=%d pattern %v: rail %d holds %v, Eval says %v",
+						n, p, r, rankSymbols[sim.sym[r]], out[r])
+				}
+			}
+		}
+	}
+}
+
+// Undo must restore the simulation exactly: after a random sequence of
+// assigns and rollbacks, re-extending a prefix behaves as if freshly
+// assigned on a new simulator.
+func TestIncSimUndoRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	c := delta.Random(4, 0.8, rng).ToNetwork()
+	n := c.Wires()
+	sim := newIncSim(c)
+	for trial := 0; trial < 100; trial++ {
+		// Build a random prefix with detours: at each wire, try a
+		// random rank, maybe undo it and commit a different one.
+		sim.undo(0)
+		ranks := make([]uint8, 0, n)
+		live := true
+		for w := 0; w < n && live; w++ {
+			if detour := uint8(rng.Intn(3)); rng.Intn(2) == 0 {
+				mark := sim.mark()
+				sim.assign(w, detour)
+				sim.undo(mark)
+			}
+			r := uint8(rng.Intn(3))
+			ranks = append(ranks, r)
+			live = sim.assign(w, r)
+		}
+		// Replay the committed ranks on a fresh simulator: same verdict,
+		// same state.
+		fresh := newIncSim(c)
+		freshLive := true
+		for w := 0; w < len(ranks) && freshLive; w++ {
+			freshLive = fresh.assign(w, ranks[w])
+		}
+		if live != freshLive {
+			t.Fatalf("trial %d: detoured sim says %v, fresh says %v", trial, live, freshLive)
+		}
+		if live {
+			for r := 0; r < n; r++ {
+				if sim.sym[r] != fresh.sym[r] {
+					t.Fatalf("trial %d: rail %d differs after undo", trial, r)
+				}
+			}
+		}
+	}
+}
+
+// The lemmaRec fork must be invisible: pinning the runtime to one CPU
+// and letting it fan out freely must give bit-identical results.
+func TestLemma41GOMAXPROCSDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n adversary run")
+	}
+	n := 4 * parallelSubtree
+	tree := delta.Butterfly(lg(n))
+	p := pattern.Uniform(n, pattern.M(0))
+
+	old := runtime.GOMAXPROCS(1)
+	a := Lemma41(tree, p, lg(n))
+	runtime.GOMAXPROCS(old)
+	b := Lemma41(tree, p, lg(n))
+
+	if !a.Q.Equal(b.Q) || a.Survivors != b.Survivors {
+		t.Fatal("Lemma41 differs between GOMAXPROCS=1 and default")
+	}
+	for i := range a.OutWire {
+		if a.OutWire[i] != b.OutWire[i] {
+			t.Fatal("Lemma41 routing differs between GOMAXPROCS=1 and default")
+		}
+	}
+	for i := range a.Sets {
+		if len(a.Sets[i]) != len(b.Sets[i]) {
+			t.Fatalf("set %d differs between GOMAXPROCS=1 and default", i)
+		}
+		for j := range a.Sets[i] {
+			if a.Sets[i][j] != b.Sets[i][j] {
+				t.Fatalf("set %d differs between GOMAXPROCS=1 and default", i)
+			}
+		}
+	}
+}

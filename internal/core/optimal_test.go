@@ -52,5 +52,5 @@ func TestOptimalNoncollidingGuard(t *testing.T) {
 			t.Error("no panic for n > MaxOptimalWires")
 		}
 	}()
-	OptimalNoncolliding(network.New(17))
+	OptimalNoncolliding(network.New(MaxOptimalWires + 1))
 }

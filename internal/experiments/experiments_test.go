@@ -276,6 +276,43 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// renderFiltered renders a table and drops the wall-clock note lines
+// ("timing: ..."), the only output allowed to vary between runs.
+func renderFiltered(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "timing:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestWorkersDeterministic checks the PR's core invariant for every
+// parallelized experiment: the rendered table is byte-identical (modulo
+// timing notes) whether the cells run on one worker or many.
+func TestWorkersDeterministic(t *testing.T) {
+	for _, id := range []string{"E2", "E3", "E5", "E8", "A1", "A2"} {
+		r := Find(id)
+		if r == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			one := r.Run(Config{Seed: 7, Quick: true, Workers: 1})
+			many := r.Run(Config{Seed: 7, Quick: true, Workers: 8})
+			if got, want := renderFiltered(t, many), renderFiltered(t, one); got != want {
+				t.Errorf("%s renders differently on 8 workers vs 1:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", id, want, got)
+			}
+		})
+	}
+}
+
 func TestTrimFloat(t *testing.T) {
 	cases := map[float64]string{
 		1.0: "1", 0.5: "0.5", 0.123456: "0.1235", 0: "0", 100: "100",
