@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: build test check check-ctx vet race bench bench-json bench-diff bench-smoke fuzz experiments
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke fuzz experiments
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR2.json
+BENCH_BASE ?= BENCH_PR4.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
 # kernels (see cmd/benchjson defaultGuard).
@@ -36,6 +36,16 @@ check: vet race build test
 check-ctx:
 	$(GO) test -race -count=2 -timeout 5m -run 'Ctx|Cancel|Canceled|Timeout' \
 		./internal/par ./internal/core ./internal/sortcheck ./internal/halver .
+
+# check-memo is the memo-differential gate: the optimum search with
+# the transposition table on, off, shared between searches, and under
+# constant eviction must be byte-identical to the exhaustive oracle at
+# every worker count. Run under the race detector, twice — worker
+# scheduling is the racy input that could corrupt the table.
+check-memo:
+	$(GO) test -race -count=2 -timeout 10m \
+		-run 'OptimalMemo|OptimalNoncollidingWorkersDeterministic|MemoTable|Canon' \
+		./internal/core
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .

@@ -11,6 +11,7 @@ package shufflenet_test
 // cmd/experiments' job.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -95,6 +96,44 @@ func BenchmarkOptimalNoncolliding(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.OptimalNoncolliding(circ)
+	}
+}
+
+// BenchmarkOptimalCanonMemo isolates the symmetry machinery's cost in
+// the optimum search: the same n=16 searches with the transposition
+// table pre-warmed (probes hit, so canonical-key computation and the
+// table round-trip dominate) and with the table off (pruning only).
+// The butterfly is the structured case the memo is for; the dense
+// random instance is canonicalization's worst case — its automorphism
+// group is trivial, so keys buy nothing and must at least be cheap.
+func BenchmarkOptimalCanonMemo(b *testing.B) {
+	const n = 16
+	it := delta.NewIterated(n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(n)))
+	fly, _ := it.ToNetwork()
+	dense := randnet.Levels(n, 8, rand.New(rand.NewSource(9)))
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name string
+		circ *network.Network
+		opt  core.OptimalOptions
+	}{
+		{"butterfly/warm", fly, core.OptimalOptions{Workers: 1, Memo: core.NewMemo(32 << 20)}},
+		{"butterfly/off", fly, core.OptimalOptions{Workers: 1, NoMemo: true}},
+		{"dense/warm", dense, core.OptimalOptions{Workers: 1, Memo: core.NewMemo(32 << 20)}},
+		{"dense/off", dense, core.OptimalOptions{Workers: 1, NoMemo: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			if _, _, _, err := core.OptimalNoncollidingOpt(ctx, bc.circ, bc.opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := core.OptimalNoncollidingOpt(ctx, bc.circ, bc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 //	          [-journal run.jsonl] [-metrics] [-pprof ADDR]
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
+//	adversary -optimal [-memo BYTES|auto|off] [-n 16 ... | -file net.txt]
 //
 // Topologies:
 //
@@ -23,6 +24,15 @@
 // With -save, the certificate is written as JSON; -check verifies a
 // saved certificate against a circuit file (no adversary run needed —
 // the certificate is self-contained evidence).
+//
+// With -optimal, the constructive adversary is replaced by the exact
+// branch-and-bound optimum search (core.OptimalNoncollidingOpt): the
+// largest noncolliding [M_0]-set any pattern admits on the circuit,
+// the quantity the A2/A3 experiments compare the adversary against.
+// It handles any circuit of at most core.MaxOptimalWires = 24 wires
+// (with -file, no power-of-two or RDN-structure requirement). -memo
+// sizes its transposition table; the table's final hit/miss/eviction
+// counters are printed and journaled.
 //
 // With -file, the circuit is loaded from the text serialization
 // (network.WriteText format), its iterated reverse delta structure is
@@ -51,6 +61,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"time"
 
 	"shufflenet/internal/bits"
 	"shufflenet/internal/core"
@@ -75,6 +87,8 @@ func main() {
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	optimal := flag.Bool("optimal", false, "run the exact optimum search instead of the constructive adversary (n <= 24; with -file, any circuit)")
+	memoSpec := flag.String("memo", "auto", "transposition table for -optimal: byte size, \"auto\", or \"off\"")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); partial per-block results are kept")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); Theorem 4.1's recursion forks automatically, so this caps the scheduler")
 	flag.Parse()
@@ -108,6 +122,15 @@ func main() {
 	saveCert = *save
 
 	if *file != "" {
+		if *optimal {
+			circ := loadCircuit(*file)
+			cli.Entry.Set("file", *file)
+			cli.Entry.Set("n", circ.Wires())
+			fmt.Printf("loaded: %v from %s\n", circ, *file)
+			runOptimal(ctx, circ, *memoSpec, *workers, *verbose)
+			cli.Finish()
+			return
+		}
 		runOnFile(ctx, *file, *blockL, *k, *verbose)
 		cli.Finish()
 		return
@@ -153,6 +176,13 @@ func main() {
 	cli.Entry.Set("n", *n)
 	cli.Entry.Set("blocks", *blocks)
 	cli.Entry.Set("depth", it.Depth())
+
+	if *optimal {
+		circ, _ := it.ToNetwork()
+		runOptimal(ctx, circ, *memoSpec, *workers, *verbose)
+		cli.Finish()
+		return
+	}
 
 	sp := obs.NewSpan("theorem41", obs.A("n", *n), obs.A("blocks", *blocks))
 	an, terr := core.Theorem41Ctx(ctx, it, *k)
@@ -289,6 +319,77 @@ func reportCanceled(an *core.Analysis, err error, verbose bool) {
 	fmt.Println("(no certificate: the analysis covers only a prefix of the network)")
 	cli.Finish()
 	os.Exit(cli.ExitCode())
+}
+
+// loadCircuit reads a network.WriteText circuit file or exits.
+func loadCircuit(path string) *network.Network {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer f.Close()
+	circ, err := network.ReadText(f)
+	if err != nil {
+		fail("parse: " + err.Error())
+	}
+	return circ
+}
+
+// runOptimal runs the exact branch-and-bound optimum search on circ —
+// the largest noncolliding [M_0]-set any {S0,M0,L0}-pattern admits,
+// i.e. the ceiling on what any adversary of the paper's form could
+// achieve there. The transposition table is sized by -memo and its
+// final counters are printed and journaled.
+func runOptimal(ctx context.Context, circ *network.Network, memoSpec string, workers int, verbose bool) {
+	n := circ.Wires()
+	if n > core.MaxOptimalWires {
+		fail(fmt.Sprintf("-optimal handles at most %d wires (core.MaxOptimalWires); the circuit has %d", core.MaxOptimalWires, n))
+	}
+	opt := core.OptimalOptions{Workers: workers}
+	switch memoSpec {
+	case "off":
+		opt.NoMemo = true
+	case "", "auto":
+		opt.Memo = core.NewMemo(core.AutoMemoBytes(n))
+	default:
+		b, err := strconv.ParseInt(memoSpec, 10, 64)
+		if err != nil || b <= 0 {
+			fail(fmt.Sprintf("-memo must be a positive byte count, \"auto\", or \"off\" (got %q)", memoSpec))
+		}
+		opt.Memo = core.NewMemo(b)
+	}
+	cli.Entry.Set("optimal", true)
+	cli.Entry.Set("memo_bytes", opt.Memo.Stats().Bytes) // 0 when off
+
+	sp := obs.NewSpan("optimal", obs.A("n", n))
+	start := time.Now()
+	size, p, set, err := core.OptimalNoncollidingOpt(ctx, circ, opt)
+	sp.End()
+	cli.Entry.AddSpans(sp)
+	cli.Entry.Set("memo", opt.Memo.Stats())
+	if err != nil {
+		var ce *par.ErrCanceled
+		if errors.As(err, &ce) {
+			cli.Entry.SetPartial(ce.Fields())
+		}
+		fmt.Printf("optimum search canceled (%v); a partial enumeration proves no optimum, so none is reported\n", err)
+		cli.Finish()
+		os.Exit(cli.ExitCode())
+	}
+	cli.Entry.Set("optimal_d", size)
+	fmt.Printf("optimal noncolliding [M_0]-set: %d of %d wires (exact, %v)\n",
+		size, n, time.Since(start).Round(time.Millisecond))
+	if verbose {
+		fmt.Printf("  witness pattern: %v\n", p)
+		fmt.Printf("  set: %v\n", set)
+	}
+	if opt.NoMemo {
+		fmt.Println("transposition table: off")
+	} else {
+		ms := opt.Memo.Stats()
+		fmt.Printf("transposition table: %d bytes, %d hits / %d misses / %d stores / %d evictions\n",
+			ms.Bytes, ms.Hits, ms.Misses, ms.Stores, ms.Evictions)
+	}
 }
 
 // runOnFile loads a circuit, recovers its iterated RDN structure, and

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	experiments [-run E4[,E5,...]] [-quick] [-seed N] [-csv] [-workers N]
-//	            [-timeout 30s] [-journal run.jsonl] [-metrics] [-trace]
-//	            [-pprof ADDR]
+//	            [-memo BYTES|auto|off] [-timeout 30s] [-journal run.jsonl]
+//	            [-metrics] [-trace] [-pprof ADDR]
 //
 // With no -run flag every experiment is executed in order. Empty
 // fields in -run (trailing or doubled commas) are ignored.
@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	memoSpec := flag.String("memo", "auto", "transposition table for the optimum experiments (A2, A3): byte size, \"auto\", or \"off\"; never changes any table cell")
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	trace := flag.Bool("trace", false, "print the span tree (phase timings) to stderr at exit")
@@ -74,6 +76,12 @@ func main() {
 		}
 	}
 
+	memoBytes, err := parseMemo(*memoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
 	cli, err := obs.StartCLI("experiments", *journal, *metrics, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -82,6 +90,7 @@ func main() {
 	cli.Entry.Seed = *seed
 	cli.Entry.Set("quick", *quick)
 	cli.Entry.Set("workers", *workers)
+	cli.Entry.Set("memo_bytes", memoBytes) // 0 = auto, negative = off
 	ctx := cli.SetupContext(*timeout)
 
 	root := obs.NewSpan("experiments")
@@ -117,7 +126,7 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Ctx: ctx}
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, MemoBytes: memoBytes, Ctx: ctx}
 		cfg.Span = root.Child(r.ID, obs.A("brief", r.Brief))
 		start := time.Now()
 		tab := r.Run(cfg)
@@ -143,4 +152,20 @@ func main() {
 	}
 	finish()
 	os.Exit(cli.ExitCode())
+}
+
+// parseMemo parses the -memo flag: "auto" (or empty) = 0, "off" = -1,
+// otherwise a positive byte count.
+func parseMemo(s string) (int64, error) {
+	switch s {
+	case "", "auto":
+		return 0, nil
+	case "off":
+		return -1, nil
+	}
+	b, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || b <= 0 {
+		return 0, fmt.Errorf("-memo must be a positive byte count, %q, or %q (got %q)", "auto", "off", s)
+	}
+	return b, nil
 }

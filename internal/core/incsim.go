@@ -1,7 +1,6 @@
 package core
 
 import (
-	"shufflenet/internal/network"
 	"shufflenet/internal/pattern"
 )
 
@@ -27,29 +26,27 @@ var rankSymbols = [3]pattern.Symbol{pattern.S(0), pattern.M(0), pattern.L(0)}
 //
 // The key observation is that a comparator's outcome is determined as
 // soon as every input wire in its cone of influence is assigned, and
-// the highest such wire ("maxSupport") is computable statically: rail r
-// starts with support {r}, and a comparator merges the supports of its
-// two rails. Grouping comparators by maxSupport ("trigger groups") and
-// firing group w when wire w is assigned replays exactly the
-// level-major simulation of pattern.EvalTrace restricted to determined
-// comparators: any comparator feeding one of c's rails has a cone
-// contained in c's, hence an equal-or-smaller maxSupport, so it fires
-// before c (in an earlier group, or earlier in the same group since
-// groups preserve level-major order); and comparators of incomparable
-// cones touch disjoint rails, so firing them out of order cannot
-// change what either sees.
+// the static schedule for any assignment order is computable up front:
+// grouping comparators by the last-assigned wire of their cone
+// (canonizer.trigger) and firing group t when step t's wire is
+// assigned replays exactly the level-major simulation of
+// pattern.EvalTrace restricted to determined comparators. Any
+// comparator feeding one of c's rails has a cone contained in c's,
+// hence an equal-or-earlier group (and an earlier level-major position
+// within the same group); comparators of incomparable cones touch
+// disjoint rails, so firing them out of order cannot change what
+// either sees.
 //
 // A consequence used for pruning: a collision (both inputs of a fired
-// comparator carrying M) witnessed while assigning wire w depends only
-// on wires <= w, so every completion of the current prefix collides —
-// the whole subtree is dead, not just the leaf.
+// comparator carrying M) witnessed while assigning step t depends only
+// on the wires assigned so far, so every completion of the current
+// prefix collides — the whole subtree is dead, not just the leaf.
+//
+// The static analysis (assignment order, trigger groups, liveness)
+// lives in the shared read-only canonizer; incSim is the per-worker
+// mutable part: the rail symbols and the undo trail.
 type incSim struct {
-	n     int
-	comps []incComp // level-major order
-	// trigger[w] lists (indices of) the comparators whose outcome
-	// becomes determined when wire w is assigned, ascending (=
-	// level-major within the group).
-	trigger [][]int32
+	cz *canonizer
 	// sym[r] is the symbol rank currently on rail r for the fired
 	// prefix of the simulation. Rails whose cone contains unassigned
 	// wires are never read (their comparators are in later groups).
@@ -65,52 +62,32 @@ type incUndo struct {
 	swapped bool
 }
 
-// newIncSim builds the trigger schedule for c.
-func newIncSim(c *network.Network) *incSim {
-	n := c.Wires()
-	s := &incSim{
-		n:       n,
-		comps:   make([]incComp, 0, c.Size()),
-		trigger: make([][]int32, n),
-		sym:     make([]uint8, n),
-		trail:   make([]incUndo, 0, c.Size()),
+// newIncSim attaches fresh simulation state to a canonizer.
+func newIncSim(cz *canonizer) *incSim {
+	return &incSim{
+		cz:    cz,
+		sym:   make([]uint8, cz.n),
+		trail: make([]incUndo, 0, len(cz.comps)),
 	}
-	// coneMax[r] = highest input wire influencing the value on rail r
-	// after the comparators scanned so far.
-	coneMax := make([]int, n)
-	for r := range coneMax {
-		coneMax[r] = r
-	}
-	for _, lv := range c.Levels() {
-		for _, cm := range lv {
-			ms := coneMax[cm.Min]
-			if coneMax[cm.Max] > ms {
-				ms = coneMax[cm.Max]
-			}
-			coneMax[cm.Min], coneMax[cm.Max] = ms, ms
-			s.trigger[ms] = append(s.trigger[ms], int32(len(s.comps)))
-			s.comps = append(s.comps, incComp{a: int32(cm.Min), b: int32(cm.Max)})
-		}
-	}
-	return s
 }
 
 // mark returns the current trail position; pass it to undo to roll the
 // simulation back to this point.
 func (s *incSim) mark() int { return len(s.trail) }
 
-// assign sets input wire w (which must be the next unassigned wire,
-// with all wires < w assigned and their trigger groups fired) to the
-// given rank and fires the comparators of trigger group w. It reports
-// false if any of them collides (sees M on both inputs): the caller
-// must then undo to its mark and try another branch — every completion
-// of this prefix is colliding. Rail w still holds wire w's own value
-// when the group fires: any comparator touching rail w has w in its
-// cone, so it is in group >= w.
-func (s *incSim) assign(w int, rank uint8) bool {
-	s.sym[w] = rank
-	for _, ci := range s.trigger[w] {
-		cm := s.comps[ci]
+// assign sets the input wire of search step t (which must be the next
+// unassigned step, with all earlier steps assigned and their trigger
+// groups fired) to the given rank and fires the comparators of trigger
+// group t. It reports false if any of them collides (sees M on both
+// inputs): the caller must then undo to its mark and try another
+// branch — every completion of this prefix is colliding. The wire's
+// rail still holds its own raw value when the group fires: any
+// comparator touching that rail has the wire in its cone, so it is in
+// group >= t.
+func (s *incSim) assign(t int, rank uint8) bool {
+	s.sym[s.cz.order[t]] = rank
+	for _, ci := range s.cz.trigger[t] {
+		cm := s.cz.comps[ci]
 		sa, sb := s.sym[cm.a], s.sym[cm.b]
 		if sa == sb {
 			if sa == rankM {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"shufflenet/internal/pattern"
+)
+
+func TestMemoTableBasics(t *testing.T) {
+	m := NewMemo(1 << 16)
+	if m.Stats().Bytes <= 0 || m.Stats().Bytes > 1<<16 {
+		t.Fatalf("table bytes %d out of budget", m.Stats().Bytes)
+	}
+	var st memoStats
+	if _, ok := m.probe(1, 2, 5, &st); ok {
+		t.Fatal("hit on empty table")
+	}
+	m.store(1, 2, 5, 7, &st)
+	ub, ok := m.probe(1, 2, 5, &st)
+	if !ok || ub != 7 {
+		t.Fatalf("probe after store: %d,%v want 7,true", ub, ok)
+	}
+	// Same key at a different step is a different entry.
+	if _, ok := m.probe(1, 2, 6, &st); ok {
+		t.Fatal("step is not part of the key")
+	}
+	// A matching store keeps the tighter bound.
+	m.store(1, 2, 5, 9, &st)
+	if ub, _ := m.probe(1, 2, 5, &st); ub != 7 {
+		t.Fatalf("looser store overwrote: %d want 7", ub)
+	}
+	m.store(1, 2, 5, 3, &st)
+	if ub, _ := m.probe(1, 2, 5, &st); ub != 3 {
+		t.Fatalf("tighter store ignored: %d want 3", ub)
+	}
+	// Two-slot bucket: a third distinct entry on the same bucket evicts
+	// the deeper (larger-step) slot and keeps the shallower.
+	m.store(1, 20, 9, 1, &st) // same h1 -> same shard and bucket
+	m.store(1, 30, 2, 4, &st) // bucket full: step-9 slot is the victim
+	if _, ok := m.probe(1, 20, 9, &st); ok {
+		t.Fatal("deeper slot survived eviction")
+	}
+	if ub, ok := m.probe(1, 2, 5, &st); !ok || ub != 3 {
+		t.Fatal("shallower slot did not survive eviction")
+	}
+	if ub, ok := m.probe(1, 30, 2, &st); !ok || ub != 4 {
+		t.Fatal("incoming entry not installed")
+	}
+	m.flush(&st)
+	s := m.Stats()
+	if s.Hits == 0 || s.Misses == 0 || s.Stores == 0 || s.Evictions != 1 {
+		t.Fatalf("stats %+v look wrong", s)
+	}
+	// nil Memo is inert.
+	var nilM *Memo
+	nilM.flush(&st)
+	if nilM.Stats() != (MemoStats{}) {
+		t.Fatal("nil Memo stats not empty")
+	}
+}
+
+// The satellite differential: on every n <= 12 test circuit, the
+// memo-on search, the memo-off search, and the PR 4 exhaustive oracle
+// must return byte-identical results — size, witness pattern, and set —
+// at 1 and at 8 workers. A single Memo shared across all circuits (the
+// experiment-cell usage) must not change anything either.
+func TestOptimalMemoModesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	shared := NewMemo(1 << 20)
+	for ci, c := range testCircuits(12, rng) {
+		wantSize, wantP, wantSet := bruteOptimalNoncolliding(c)
+		check := func(mode string, size int, p pattern.Pattern, set []int, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("circuit %d %s: %v", ci, mode, err)
+			}
+			if size != wantSize || !p.Equal(wantP) || len(set) != len(wantSet) {
+				t.Fatalf("circuit %d %s: (%d,%v) oracle (%d,%v)", ci, mode, size, p, wantSize, wantP)
+			}
+			for i := range set {
+				if set[i] != wantSet[i] {
+					t.Fatalf("circuit %d %s: set %v oracle %v", ci, mode, set, wantSet)
+				}
+			}
+		}
+		ctx := context.Background()
+		for _, workers := range []int{1, 8} {
+			s, p, set, err := OptimalNoncollidingOpt(ctx, c, OptimalOptions{Workers: workers})
+			check("memo-auto", s, p, set, err)
+			s, p, set, err = OptimalNoncollidingOpt(ctx, c, OptimalOptions{Workers: workers, NoMemo: true})
+			check("memo-off", s, p, set, err)
+			s, p, set, err = OptimalNoncollidingOpt(ctx, c, OptimalOptions{Workers: workers, Memo: shared})
+			check("memo-shared", s, p, set, err)
+		}
+		// A second pass over the now-warm shared table: probes hit
+		// immediately and still must not change the answer.
+		s, p, set, err := OptimalNoncollidingOpt(ctx, c, OptimalOptions{Workers: 2, Memo: shared})
+		check("memo-warm", s, p, set, err)
+	}
+	if st := shared.Stats(); st.Stores == 0 {
+		t.Fatal("shared memo never stored anything across the whole suite")
+	}
+}
+
+// A tiny table forces constant eviction; the answer must not change.
+func TestOptimalMemoTinyTableEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	tiny := NewMemo(1) // minimum size: one bucket per shard
+	for ci, c := range testCircuits(10, rng) {
+		wantSize, wantP, _ := bruteOptimalNoncolliding(c)
+		s, p, _, err := OptimalNoncollidingOpt(context.Background(), c, OptimalOptions{Workers: 4, Memo: tiny})
+		if err != nil || s != wantSize || !p.Equal(wantP) {
+			t.Fatalf("circuit %d: (%d,%v,%v) oracle (%d,%v)", ci, s, err, p, wantSize, wantP)
+		}
+	}
+}

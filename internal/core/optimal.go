@@ -7,31 +7,72 @@ import (
 	"sync/atomic"
 
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 )
 
-// MaxOptimalWires bounds OptimalNoncolliding's 3^n pattern enumeration.
-// The branch-and-bound with incremental collision pruning (incSim)
-// raised this from 16: the A2 workloads at n=16 dropped from minutes to
-// milliseconds. The cap is set by the measured worst case, dense
-// random circuits — their optimum is small, so neither the incumbent
-// bound nor collision pruning cuts early — at ~12s on one slow core
-// for n=20 with 100 comparators; friendly circuits (butterflies,
-// sparse levels, RDN stacks) finish n=20 in well under a second.
-const MaxOptimalWires = 20
+// MaxOptimalWires bounds OptimalNoncolliding. The cost model is not
+// 3^n leaf enumeration: the branch-and-bound explores only prefixes
+// that are noncolliding so far and not provably unable to beat the
+// incumbent, with collision pruning (incSim), a direct-pair capacity
+// bound, canonical-state memoization, and sibling dominance cutting
+// the rest (see canon.go and memo.go). The cap is set by two things:
+// the measured worst case — dense random circuits, whose optimum is
+// small and whose automorphism group is trivial, at ~20 s single-core
+// for n=24 with 6 levels (minutes at 10 levels; see EXPERIMENTS.md,
+// "Symmetry reduction") — and the witness encoding, which packs size
+// plus a 2-bit-per-wire pattern into one atomic 64-bit word
+// (2·24 + 6 bits). Friendly circuits (butterflies, sparse levels, RDN
+// stacks) finish n=24 in well under a second.
+const MaxOptimalWires = 24
 
-// optimalPrefixDigits fans the top wires out as independent
-// branch-and-bound roots (3^digits prefixes). The prefixes are scanned
-// in DFS order by a worker pool sharing one atomic incumbent, so the
-// split is both the parallel decomposition and a work queue fine
-// enough (81 prefixes) to balance uneven subtrees.
+// optimalPrefixDigits fans the top of the search out as independent
+// branch-and-bound roots (3^digits prefixes over the first search
+// steps). The prefixes are scanned in DFS order by a worker pool
+// sharing one atomic incumbent, so the split is both the parallel
+// decomposition and a work queue fine enough (81 prefixes) to balance
+// uneven subtrees.
 const optimalPrefixDigits = 4
 
 // optimalRanks maps a base-3 prefix digit to a symbol rank; the order
 // (M, S, L) matches the DFS branch order below, so ascending prefix
 // index is exactly sequential DFS order.
 var optimalRanks = [3]uint8{rankM, rankS, rankL}
+
+// lexOf maps a symbol rank to its position in the witness order
+// M < S < L — the branch order of the reference first-maximum DFS —
+// and lexSymbols maps back. The packed incumbent compares witnesses
+// in this order.
+var lexOf = [3]uint8{rankS: 1, rankM: 0, rankL: 2}
+
+var lexSymbols = [3]pattern.Symbol{pattern.M(0), pattern.S(0), pattern.L(0)}
+
+var (
+	metOptimalNodes   = obs.C("core.optimal.nodes")
+	metOptimalDomCuts = obs.C("core.optimal.dominance.cuts")
+)
+
+// Probe/store boundaries where the residual subtree is at least this
+// deep; below it a table round-trip costs more than the subtree.
+const memoMinRemain = 3
+
+// Take sibling-dominance snapshots only where the residual subtree is
+// at least this deep, for the same reason.
+const domMinRemain = 4
+
+// OptimalOptions configures OptimalNoncollidingOpt.
+type OptimalOptions struct {
+	// Workers is the worker count (0 = GOMAXPROCS, clamped by par.Workers).
+	Workers int
+	// Memo is the transposition table to consult and fill. nil means
+	// allocate a private table of memoAutoBytes(n) for this search;
+	// set NoMemo to run without one. A shared table may be passed to
+	// concurrent searches, including on different networks.
+	Memo *Memo
+	// NoMemo disables the transposition table entirely.
+	NoMemo bool
+}
 
 // OptimalNoncolliding finds, over all 3^n patterns with symbols
 // {S_0, M_0, L_0}, a largest noncolliding [M_0]-set in the circuit —
@@ -40,17 +81,18 @@ var optimalRanks = [3]uint8{rankM, rankS, rankL}
 // the set itself.
 //
 // The search is branch-and-bound: patterns are enumerated wire by wire
-// (M, then S, then L at each wire — M first so large sets are found
-// early and the incumbent bound bites), and an incremental simulation
-// (incSim) fires each comparator as soon as its cone of influence is
-// fully assigned. A collision witnessed while assigning wire w depends
-// only on wires <= w and so condemns every completion of the prefix:
-// colliding branches are cut at the node instead of being re-simulated
-// from scratch at each of their 3^(n-w) leaves, which is where the
-// speedup over the old per-leaf pattern.Noncolliding search comes
-// from. The result — including which of several maximum-size patterns
-// is returned — is identical to the old sequential first-maximum DFS,
-// for any worker count (see optimalPacked).
+// in the canonizer's cone-closing order (M, then S, then L at each
+// wire — M first so large sets are found early and the incumbent bound
+// bites), and an incremental simulation (incSim) fires each comparator
+// as soon as its cone of influence is fully assigned. A collision
+// witnessed at a node condemns every completion of its prefix, a
+// residual state already known to the transposition table bounds the
+// subtree without descending, and a sibling whose residual state is
+// pointwise dominated cannot contribute anything new. The result —
+// including which of several maximum-size patterns is returned — is
+// identical to the sequential first-maximum DFS of the exhaustive
+// oracle, for any worker count and with the memo on or off (see
+// DESIGN.md §4, decision 10).
 //
 // The constructive Lemma 4.1/Theorem 4.1 adversary is a lower bound on
 // this optimum; comparing the two (experiment A2) measures the
@@ -61,30 +103,26 @@ func OptimalNoncolliding(c *network.Network) (int, pattern.Pattern, []int) {
 	return size, p, set
 }
 
-// optimalPacked orders (set size, prefix index) pairs so that a bigger
-// set always wins and, among equal sizes, the earlier prefix wins:
-// packed = size<<32 | (prefixes - prefix). The shared incumbent is the
-// maximum published pack, and a branch with upper bound U in prefix p
-// is cut iff pack(U, p) <= incumbent: the branch cannot strictly beat
-// a known set, except by tying one found in an earlier prefix — and
-// "first maximum in DFS order" means the earlier prefix's set is the
-// answer regardless. Cutting an early branch via a later, larger
-// incumbent is safe too: anything the branch could still contribute is
-// strictly smaller than a set that provably exists elsewhere, so the
-// final reduce could never pick it.
-func optimalPacked(size, prefixes, prefix int) int64 {
-	return int64(size)<<32 | int64(prefixes-prefix)
-}
-
 // OptimalNoncollidingCtx is OptimalNoncolliding under a context and an
 // explicit worker count (0 = GOMAXPROCS). The search probes for
 // cancellation between prefixes and every few thousand DFS nodes; on
 // cancellation the incumbent so far is discarded — a partial
 // enumeration proves no optimum — and a *par.ErrCanceled is returned.
 func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int) (int, pattern.Pattern, []int, error) {
+	return OptimalNoncollidingOpt(ctx, c, OptimalOptions{Workers: workers})
+}
+
+// OptimalNoncollidingOpt is OptimalNoncollidingCtx with full control
+// over the transposition table.
+func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt OptimalOptions) (int, pattern.Pattern, []int, error) {
 	n := c.Wires()
 	if n > MaxOptimalWires {
-		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds %d (3^n patterns)", n, MaxOptimalWires))
+		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds the %d-wire cap (the packed witness holds 2 bits per wire in one 64-bit word, and the pruned branch-and-bound worst case — dense random circuits — is calibrated to %d wires; see MaxOptimalWires)", n, MaxOptimalWires, MaxOptimalWires))
+	}
+	cz := newCanonizer(c)
+	mm := opt.Memo
+	if mm == nil && !opt.NoMemo {
+		mm = NewMemo(memoAutoBytes(n))
 	}
 
 	digits := optimalPrefixDigits
@@ -96,24 +134,39 @@ func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int
 		prefixes *= 3
 	}
 
-	// results[p] is prefix p's local best: its first maximum-size
-	// noncolliding leaf in DFS order, among leaves the cut rule cannot
-	// prove irrelevant.
-	type localBest struct {
-		size  int
-		ranks []uint8
-	}
-	results := make([]localBest, prefixes)
-	var incumbent atomic.Int64
+	// The incumbent packs the best leaf found so far as
+	// size<<(2n) | (witness lex key ^ keyMask): bigger sets win, and
+	// among equal sizes the witness that is lexicographically least in
+	// the reference order (wire 0..n-1 ascending, M < S < L) wins.
+	// Because the packed order is a pure max over leaves, the final
+	// value is independent of exploration order, scheduling, worker
+	// count, and memoization — every cut below only removes leaves
+	// that provably cannot beat the final pack.
+	keyBits := uint(2 * n)
+	keyMask := uint64(1)<<keyBits - 1
+	var incumbent atomic.Uint64
 	var nextPrefix atomic.Int64
 	var canceled atomic.Bool
 	done := ctx.Done()
 
 	worker := func() {
-		sim := newIncSim(c)
-		ranks := make([]uint8, n)
+		sim := newIncSim(cz)
+		ranks := make([]uint8, n) // by wire
+		scratch := make([]uint8, n)
+		witLex := make([]uint8, n)
+		witFor := ^uint64(0)
+		domM := make([][]uint8, n)
+		domS := make([][]uint8, n)
+		var st memoStats
+		var nodes, domCuts int64
+		stopped := false
 		probe := 0
 		const probeEvery = 1 << 13
+		defer func() {
+			mm.flush(&st)
+			metOptimalNodes.Add(nodes)
+			metOptimalDomCuts.Add(domCuts)
+		}()
 
 		checkCancel := func() bool {
 			if canceled.Load() {
@@ -130,27 +183,225 @@ func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int
 			return false
 		}
 
+		// lexGreater reports that every leaf of the current subtree is
+		// lexicographically greater than the incumbent witness: the
+		// first reference-order wire where the subtree is not pinned to
+		// the witness value decides, and if it is unassigned the
+		// subtree straddles the witness. O(first unassigned wire).
+		lexGreater := func(t int, inc uint64) bool {
+			if witFor != inc {
+				key := (inc & keyMask) ^ keyMask
+				for j := n - 1; j >= 0; j-- {
+					witLex[j] = uint8(key & 3)
+					key >>= 2
+				}
+				witFor = inc
+			}
+			for j := 0; j < n; j++ {
+				if int(cz.stepOf[j]) >= t {
+					return false
+				}
+				if d := lexOf[ranks[j]]; d != witLex[j] {
+					return d > witLex[j]
+				}
+			}
+			return false
+		}
+
+		// capAfter maintains the direct-pair capacity bound across the
+		// assignment of wire w: every pair contributes at most one M,
+		// and an unpaired wire at most one.
+		capAfter := func(t, w int, rank uint8, cap int) int {
+			p := cz.partner[w]
+			if p < 0 {
+				return cap - 1
+			}
+			if cz.stepOf[p] > int32(t) { // partner still unassigned
+				if rank == rankM {
+					return cap - 1
+				}
+				return cap // the pair's unit passes to the partner
+			}
+			if ranks[p] == rankM {
+				return cap // unit was consumed at the partner
+			}
+			return cap - 1
+		}
+
+		// dfs explores the subtree at boundary t and returns a true
+		// upper bound on the size of any noncolliding leaf in it:
+		// leaves return their exact size, cut nodes return the bound
+		// that justified the cut, and interior nodes return the max of
+		// their children's bounds (capped by their own entry bound).
+		// Truth of the returned bound is the invariant that makes memo
+		// entries sound wherever they are probed.
+		var dfs func(t, mCount, cap int) int
+		dfs = func(t, mCount, cap int) int {
+			nodes++
+			ub := n - t
+			if cap < ub {
+				ub = cap
+			}
+			bound := mCount + ub
+			inc := incumbent.Load()
+			incSize := int(inc >> keyBits)
+			if bound < incSize {
+				return bound
+			}
+			if bound == incSize && lexGreater(t, inc) {
+				return bound
+			}
+			if probe++; probe >= probeEvery {
+				probe = 0
+				if checkCancel() {
+					stopped = true
+				}
+			}
+			if stopped {
+				return bound
+			}
+			if t == n {
+				if mCount > 0 {
+					var key uint64
+					for j := 0; j < n; j++ {
+						key = key<<2 | uint64(lexOf[ranks[j]])
+					}
+					pk := uint64(mCount)<<keyBits | (key ^ keyMask)
+					for {
+						cur := incumbent.Load()
+						if pk <= cur || incumbent.CompareAndSwap(cur, pk) {
+							break
+						}
+					}
+				}
+				return mCount
+			}
+
+			useMemo := mm != nil && cz.probeAt[t] && n-t >= memoMinRemain
+			var h1, h2 uint64
+			if useMemo {
+				h1, h2 = cz.key(t, sim.sym, scratch)
+				if mub, ok := mm.probe(h1, h2, t, &st); ok && int(mub) < ub {
+					ub = int(mub)
+					bound = mCount + ub
+					if bound < incSize {
+						return bound
+					}
+					if bound == incSize && lexGreater(t, inc) {
+						return bound
+					}
+				}
+			}
+
+			w := int(cz.order[t])
+			mark := sim.mark()
+			B := 0
+			dom := len(cz.trigger[t]) > 0 && n-t >= domMinRemain && !cz.mOnly[t]
+			live := cz.liveList[t+1]
+			haveM, haveS := false, false
+			if dom {
+				if domM[t] == nil {
+					domM[t] = make([]uint8, n)
+					domS[t] = make([]uint8, n)
+				}
+			}
+			// dominated reports that the just-assigned sibling's
+			// residual state is pointwise dominated by snap: equal
+			// everywhere except rails where the new state has M where
+			// the sibling had a non-M. Demoting those M's maps every
+			// valid completion of the new state to a valid completion
+			// of the sibling's with the same added M's, so the subtree
+			// cannot contribute anything the explored sibling did not
+			// already account for.
+			dominated := func(snap []uint8) bool {
+				for i, r := range live {
+					if v := sim.sym[r]; v != snap[i] && v != rankM {
+						return false
+					}
+				}
+				return true
+			}
+			snapshot := func(buf []uint8) {
+				for i, r := range live {
+					buf[i] = sim.sym[r]
+				}
+			}
+
+			ranks[w] = rankM
+			if sim.assign(t, rankM) {
+				if dom {
+					snapshot(domM[t])
+					haveM = true
+				}
+				if b := dfs(t+1, mCount+1, capAfter(t, w, rankM, cap)); b > B {
+					B = b
+				}
+			}
+			sim.undo(mark)
+			if !stopped && !cz.mOnly[t] {
+				ranks[w] = rankS
+				if sim.assign(t, rankS) {
+					if haveM && dominated(domM[t]) {
+						domCuts++
+					} else {
+						if dom {
+							snapshot(domS[t])
+							haveS = true
+						}
+						if b := dfs(t+1, mCount, capAfter(t, w, rankS, cap)); b > B {
+							B = b
+						}
+					}
+				}
+				sim.undo(mark)
+				if !stopped {
+					ranks[w] = rankL
+					if sim.assign(t, rankL) {
+						if (haveM && dominated(domM[t])) || (haveS && dominated(domS[t])) {
+							domCuts++
+						} else if b := dfs(t+1, mCount, capAfter(t, w, rankL, cap)); b > B {
+							B = b
+						}
+					}
+					sim.undo(mark)
+				}
+			}
+			if B < bound {
+				bound = B
+			}
+			if useMemo && !stopped {
+				d := bound - mCount
+				if d < 0 {
+					d = 0
+				}
+				mm.store(h1, h2, t, uint8(d), &st)
+			}
+			return bound
+		}
+
 		for {
 			p := int(nextPrefix.Add(1) - 1)
 			if p >= prefixes || checkCancel() {
 				return
 			}
 
-			// Assign the prefix digits (most significant digit = wire 0).
+			// Assign the prefix digits (most significant digit = step 0).
 			sim.undo(0)
-			mCount := 0
+			mCount, cap := 0, cz.capInit
 			live := true
-			for w, rest, div := 0, p, prefixes/3; w < digits; w++ {
+			for t, rest, div := 0, p, prefixes/3; t < digits; t++ {
 				rank := optimalRanks[rest/div]
 				rest %= div
 				if div > 1 {
 					div /= 3
 				}
+				w := int(cz.order[t])
 				ranks[w] = rank
 				if rank == rankM {
 					mCount++
 				}
-				if !sim.assign(w, rank) {
+				cap = capAfter(t, w, rank, cap)
+				if !sim.assign(t, rank) {
 					live = false // the prefix itself collides: subtree dead
 					break
 				}
@@ -158,62 +409,14 @@ func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int
 			if !live {
 				continue
 			}
-
-			local := &results[p]
-			var dfs func(w, mCount int) bool
-			dfs = func(w, mCount int) bool {
-				upper := mCount + n - w
-				if upper <= local.size {
-					return true
-				}
-				if optimalPacked(upper, prefixes, p) <= incumbent.Load() {
-					return true
-				}
-				if probe++; probe >= probeEvery {
-					probe = 0
-					if checkCancel() {
-						return false
-					}
-				}
-				if w == n {
-					// Reaching a leaf means no fired comparator ever saw
-					// M on both inputs — the pattern is noncolliding.
-					local.size = mCount
-					local.ranks = append(local.ranks[:0], ranks...)
-					pack := optimalPacked(mCount, prefixes, p)
-					for {
-						cur := incumbent.Load()
-						if pack <= cur || incumbent.CompareAndSwap(cur, pack) {
-							break
-						}
-					}
-					return true
-				}
-				mark := sim.mark()
-				ranks[w] = rankM
-				if sim.assign(w, rankM) && !dfs(w+1, mCount+1) {
-					return false
-				}
-				sim.undo(mark)
-				ranks[w] = rankS
-				if sim.assign(w, rankS) && !dfs(w+1, mCount) {
-					return false
-				}
-				sim.undo(mark)
-				ranks[w] = rankL
-				if sim.assign(w, rankL) && !dfs(w+1, mCount) {
-					return false
-				}
-				sim.undo(mark)
-				return true
-			}
-			if !dfs(digits, mCount) {
+			dfs(digits, mCount, cap)
+			if stopped {
 				return
 			}
 		}
 	}
 
-	if nw := par.Workers(prefixes, workers); nw <= 1 {
+	if nw := par.Workers(prefixes, opt.Workers); nw <= 1 {
 		worker()
 	} else {
 		var wg sync.WaitGroup
@@ -230,26 +433,24 @@ func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int
 		return 0, nil, nil, &par.ErrCanceled{Op: "core.OptimalNoncolliding", Cause: ctx.Err()}
 	}
 
-	// Reduce in prefix (= DFS) order with strict improvement: together
-	// with the cut rule this reproduces the sequential first-maximum
-	// answer exactly, for any worker count or scheduling.
-	bestSize := 0
-	var bestRanks []uint8
-	for p := range results {
-		if results[p].size > bestSize {
-			bestSize, bestRanks = results[p].size, results[p].ranks
-		}
-	}
+	// Decode the packed incumbent: it is simultaneously the maximum
+	// and its own witness, so there is nothing to reduce.
+	inc := incumbent.Load()
+	bestSize := int(inc >> keyBits)
 	var bestP pattern.Pattern
-	if bestRanks == nil {
-		// Any singleton M-set is trivially noncolliding.
+	if bestSize == 0 {
+		// Unreachable for n >= 1 (a singleton M-set is trivially
+		// noncolliding and the M-first DFS finds one), kept as a
+		// defensive default.
 		bestP = pattern.Uniform(n, pattern.S(0))
 		bestP[0] = pattern.M(0)
 		bestSize = 1
 	} else {
 		bestP = make(pattern.Pattern, n)
-		for w, r := range bestRanks {
-			bestP[w] = rankSymbols[r]
+		key := (inc & keyMask) ^ keyMask
+		for j := n - 1; j >= 0; j-- {
+			bestP[j] = lexSymbols[key&3]
+			key >>= 2
 		}
 	}
 	return bestSize, bestP, bestP.Set(pattern.M(0)), nil

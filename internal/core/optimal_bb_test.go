@@ -114,6 +114,7 @@ func TestOptimalNoncollidingWorkersDeterministic(t *testing.T) {
 		delta.Butterfly(l).ToNetwork(),
 		delta.Random(l, 0.6, rng).ToNetwork(),
 	}
+	shared := NewMemo(1 << 20)
 	for ci, c := range circs {
 		s1, p1, set1, err1 := OptimalNoncollidingCtx(context.Background(), c, 1)
 		s8, p8, set8, err8 := OptimalNoncollidingCtx(context.Background(), c, 8)
@@ -127,6 +128,24 @@ func TestOptimalNoncollidingWorkersDeterministic(t *testing.T) {
 		for i := range set1 {
 			if set1[i] != set8[i] {
 				t.Fatalf("circuit %d: sets differ across worker counts", ci)
+			}
+		}
+		// Memo on (workers racing on one shared table), memo off, and
+		// a warm shared table must all reproduce the same answer; this
+		// is the configuration the memo-differential CI job runs under
+		// -race.
+		for _, opt := range []OptimalOptions{
+			{Workers: 8, Memo: shared},
+			{Workers: 8, NoMemo: true},
+			{Workers: 1, Memo: shared},
+		} {
+			sm, pm, setm, errm := OptimalNoncollidingOpt(context.Background(), c, opt)
+			if errm != nil {
+				t.Fatalf("circuit %d: unexpected error %v", ci, errm)
+			}
+			if sm != s1 || !pm.Equal(p1) || len(setm) != len(set1) {
+				t.Fatalf("circuit %d (memo=%v workers=%d): (%d,%v) differs from (%d,%v)",
+					ci, !opt.NoMemo, opt.Workers, sm, pm, s1, p1)
 			}
 		}
 	}
@@ -158,7 +177,8 @@ func TestIncSimDifferentialNoncolliding(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	for _, c := range testCircuits(16, rng) {
 		n := c.Wires()
-		sim := newIncSim(c)
+		cz := newCanonizer(c)
+		sim := newIncSim(cz)
 		for trial := 0; trial < 200; trial++ {
 			p := make(pattern.Pattern, n)
 			ranks := make([]uint8, n)
@@ -169,8 +189,8 @@ func TestIncSimDifferentialNoncolliding(t *testing.T) {
 			}
 			sim.undo(0)
 			ok := true
-			for w := 0; w < n && ok; w++ {
-				ok = sim.assign(w, ranks[w])
+			for t := 0; t < n && ok; t++ {
+				ok = sim.assign(t, ranks[cz.order[t]])
 			}
 			want := pattern.Noncolliding(c, p, pattern.M(0))
 			if ok != want {
@@ -197,29 +217,30 @@ func TestIncSimUndoRestores(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	c := delta.Random(4, 0.8, rng).ToNetwork()
 	n := c.Wires()
-	sim := newIncSim(c)
+	cz := newCanonizer(c)
+	sim := newIncSim(cz)
 	for trial := 0; trial < 100; trial++ {
-		// Build a random prefix with detours: at each wire, try a
+		// Build a random prefix with detours: at each step, try a
 		// random rank, maybe undo it and commit a different one.
 		sim.undo(0)
 		ranks := make([]uint8, 0, n)
 		live := true
-		for w := 0; w < n && live; w++ {
+		for t := 0; t < n && live; t++ {
 			if detour := uint8(rng.Intn(3)); rng.Intn(2) == 0 {
 				mark := sim.mark()
-				sim.assign(w, detour)
+				sim.assign(t, detour)
 				sim.undo(mark)
 			}
 			r := uint8(rng.Intn(3))
 			ranks = append(ranks, r)
-			live = sim.assign(w, r)
+			live = sim.assign(t, r)
 		}
 		// Replay the committed ranks on a fresh simulator: same verdict,
 		// same state.
-		fresh := newIncSim(c)
+		fresh := newIncSim(cz)
 		freshLive := true
-		for w := 0; w < len(ranks) && freshLive; w++ {
-			freshLive = fresh.assign(w, ranks[w])
+		for t := 0; t < len(ranks) && freshLive; t++ {
+			freshLive = fresh.assign(t, ranks[t])
 		}
 		if live != freshLive {
 			t.Fatalf("trial %d: detoured sim says %v, fresh says %v", trial, live, freshLive)

@@ -53,8 +53,8 @@ func cell(t *testing.T, tab *Table, row int, col string) string {
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("want 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("want 14 experiments, got %d", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {
@@ -261,6 +261,43 @@ func TestA2(t *testing.T) {
 	}
 }
 
+func TestA3(t *testing.T) {
+	tab := runAndRender(t, *Find("A3"))
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := range tab.Rows {
+		n, _ := strconv.Atoi(cell(t, tab, i, "n"))
+		opt, _ := strconv.Atoi(cell(t, tab, i, "optimal |D|"))
+		if opt < 1 || opt > n {
+			t.Errorf("row %d: optimal |D| = %d out of range [1,%d]", i, opt, n)
+		}
+	}
+}
+
+// The transposition table is pure acceleration: the optimum tables
+// must be byte-identical (modulo timing and counter notes) with the
+// table off, at the default size, and at a tiny constantly-evicting
+// size, on parallel cells.
+func TestMemoModesDeterministic(t *testing.T) {
+	for _, id := range []string{"A2", "A3"} {
+		r := Find(id)
+		if r == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			base := renderFiltered(t, r.Run(Config{Seed: 7, Quick: true, Workers: 4}))
+			for _, mb := range []int64{-1, 1 << 12} {
+				got := renderFiltered(t, r.Run(Config{Seed: 7, Quick: true, Workers: 4, MemoBytes: mb}))
+				if got != base {
+					t.Errorf("%s renders differently with MemoBytes=%d:\n--- default ---\n%s\n--- MemoBytes=%d ---\n%s",
+						id, mb, base, mb, got)
+				}
+			}
+		})
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	a := E2LemmaSurvival(quickCfg())
 	b := E2LemmaSurvival(quickCfg())
@@ -277,7 +314,8 @@ func TestDeterminism(t *testing.T) {
 }
 
 // renderFiltered renders a table and drops the wall-clock note lines
-// ("timing: ..."), the only output allowed to vary between runs.
+// ("timing: ...") and the transposition-table counter notes, the only
+// output allowed to vary between runs.
 func renderFiltered(t *testing.T, tab *Table) string {
 	t.Helper()
 	var buf bytes.Buffer
@@ -286,7 +324,7 @@ func renderFiltered(t *testing.T, tab *Table) string {
 	}
 	var kept []string
 	for _, line := range strings.Split(buf.String(), "\n") {
-		if strings.Contains(line, "timing:") {
+		if strings.Contains(line, "timing:") || strings.Contains(line, "transposition table:") {
 			continue
 		}
 		kept = append(kept, line)
@@ -298,7 +336,7 @@ func renderFiltered(t *testing.T, tab *Table) string {
 // parallelized experiment: the rendered table is byte-identical (modulo
 // timing notes) whether the cells run on one worker or many.
 func TestWorkersDeterministic(t *testing.T) {
-	for _, id := range []string{"E2", "E3", "E5", "E8", "A1", "A2"} {
+	for _, id := range []string{"E2", "E3", "E5", "E8", "A1", "A2", "A3"} {
 		r := Find(id)
 		if r == nil {
 			t.Fatalf("experiment %s not registered", id)

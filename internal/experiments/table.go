@@ -1,5 +1,5 @@
 // Package experiments defines and runs the reproduction experiments
-// E1–E11 (and the ablations A1–A2) indexed in DESIGN.md. The paper (a pure lower-bound result) has
+// E1–E11 (and the ablations A1–A3) indexed in DESIGN.md. The paper (a pure lower-bound result) has
 // no tables or figures of its own; each experiment here corresponds to
 // a quantitative claim in the theorem statements or in Sections 1, 4,
 // and 5, and prints a table recording claim vs. measurement. See
@@ -118,6 +118,12 @@ type Config struct {
 	Quick bool
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// MemoBytes sizes the transposition table the optimum-search
+	// experiments (A2, A3) share across their cells: 0 picks a default,
+	// negative disables the table. The table never changes any table
+	// cell — memo on, off, and any size are byte-identical per seed —
+	// only the timing notes.
+	MemoBytes int64
 	// Span, when non-nil, receives child spans for the experiment's
 	// internal phases (per-size rows, per-topology passes); nil spans
 	// are inert, so runners instrument unconditionally.
@@ -180,6 +186,7 @@ func All() []Runner {
 		{"E11", "0-1 witness thinness (representative sets)", E11Witnesses},
 		{"A1", "Ablation: Lemma 4.1 averaging parameter k", A1KSweep},
 		{"A2", "Ablation: adversary vs brute-force optimum", A2Optimality},
+		{"A3", "Optimum search at the symmetry-reduced cap", A3OptimumCap},
 	}
 }
 

@@ -80,3 +80,29 @@ func RandomizedButterfly(n, passes int, rng *rand.Rand) *network.Register {
 func TruncatedBitonic(n, steps int) *network.Register {
 	return shuffle.Bitonic(n).Truncate(steps)
 }
+
+// Levels returns a dense random circuit on n wires (n even, any value —
+// no power-of-two constraint): depth levels, each a uniformly random
+// perfect matching of the wires with uniformly random comparator
+// directions, so the circuit has depth·n/2 comparators. These are the
+// adversarially unstructured instances of the optimum-search worst
+// case (core.OptimalNoncolliding's cap is calibrated against them):
+// their noncolliding optimum is small and their wire-relabeling
+// automorphism group is almost surely trivial, so every pruning rule
+// has to earn its keep.
+func Levels(n, depth int, rng *rand.Rand) *network.Network {
+	c := network.New(n)
+	for d := 0; d < depth; d++ {
+		p := perm.Random(n, rng)
+		lv := make(network.Level, 0, n/2)
+		for i := 0; i+1 < n; i += 2 {
+			a, b := p[i], p[i+1]
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			lv = append(lv, network.Comparator{Min: a, Max: b})
+		}
+		c.AddLevel(lv)
+	}
+	return c
+}
