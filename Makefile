@@ -1,17 +1,17 @@
 GO ?= go
 
-.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke fuzz experiments
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke fuzz experiments netgen netgen-check
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR5.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
 # kernels (see cmd/benchjson defaultGuard).
-BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon
+BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch
 
 build:
 	$(GO) build ./...
@@ -79,9 +79,23 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_b.json
 	$(GO) run ./cmd/benchjson -diff -threshold 0.5 /tmp/bench_smoke_a.json /tmp/bench_smoke_b.json
 
-# Short fuzz pass over the parsers and the compiled-kernel round trip.
+# Short fuzz pass over the parsers / compiled-kernel round trip and the
+# Sort dispatcher vs slices.Sort differential.
 fuzz:
 	$(GO) test ./internal/network/ -run FuzzCompileEval -fuzz FuzzCompileEval -fuzztime 20s
+	$(GO) test . -run FuzzSortT -fuzz FuzzSortT -fuzztime 20s
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# netgen regenerates the committed sortkernels/ package from the
+# curated depth-optimal networks.
+netgen:
+	$(GO) run ./cmd/netgen -preset sortkernels -out sortkernels
+
+# netgen-check is the drift gate: regenerate into a scratch directory
+# and require byte-identity with the committed sortkernels/. Fails when
+# someone edits the generated files by hand or changes the generator
+# (or the curated networks) without re-running make netgen.
+netgen-check:
+	tmp=$$(mktemp -d) && 	$(GO) run ./cmd/netgen -preset sortkernels -out $$tmp && 	diff -r sortkernels $$tmp && 	rm -rf $$tmp && echo netgen-check: sortkernels/ is in sync

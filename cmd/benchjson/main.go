@@ -58,9 +58,12 @@ type Doc struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// defaultGuard protects the bit-sliced (SWAR) 0-1 evaluation kernels:
-// a regression there slows every exhaustive sorting check in the repo.
-const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$`
+// defaultGuard protects the perf-critical kernels: the bit-sliced
+// (SWAR) 0-1 evaluation kernels — a regression there slows every
+// exhaustive sorting check in the repo — and the generated sorting
+// kernels plus their shufflenet.Sort dispatch path, the library's
+// user-facing fast path (PR 6).
+const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/`
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")

@@ -1,0 +1,183 @@
+// netgen compiles comparator networks into standalone branchless Go
+// sorting kernels (via internal/netgen) and writes them out as a
+// generated package.
+//
+// usage:
+//
+//	netgen -preset sortkernels [-out DIR]
+//	netgen -net FAMILY -widths 2..16 -pkg NAME -out DIR
+//	netgen -net file:PATH -pkg NAME -out DIR
+//
+// The -preset form regenerates the committed sortkernels/ package:
+// one kernel per width 2..16 from the curated depth-optimal networks
+// (netbuild.BestKnown), for every element family. `make netgen-check`
+// regenerates into a scratch directory and fails on any drift between
+// the committed files and what the generator emits.
+//
+// -net accepts the construction families the other tools use
+// (bestknown, depthoptimal, bitonic, oddeven, mergeexchange,
+// insertion, transposition, pratt) plus file:<path> (circuit text
+// format) and regfile:<path> (register text format), whose width comes
+// from the file itself. -widths takes comma-separated entries, each a
+// width or an a..b range.
+//
+// Emission is deterministic: same networks, same flags, same bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/netgen"
+	"shufflenet/internal/network"
+)
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "netgen: "+msg)
+	os.Exit(1)
+}
+
+var builders = map[string]func(int) *network.Network{
+	"bestknown":     netbuild.BestKnown,
+	"depthoptimal":  netbuild.DepthOptimal,
+	"bitonic":       netbuild.Bitonic,
+	"oddeven":       netbuild.OddEvenMergeSort,
+	"mergeexchange": netbuild.MergeExchange,
+	"insertion":     netbuild.Insertion,
+	"transposition": netbuild.OddEvenTransposition,
+	"pratt":         netbuild.Pratt,
+}
+
+// parseWidths accepts "2..16", "4,8,16", "2..8,12,16".
+func parseWidths(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, ".."); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+			for n := a; n <= b; n++ {
+				out = append(out, n)
+			}
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad width %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// sortkernelsDoc is the package comment of the committed preset.
+var sortkernelsDoc = []string{
+	"Package sortkernels holds branchless sorting-network kernels for",
+	"widths 2..16, generated from the curated depth-optimal networks in",
+	"internal/netbuild. Each kernel keeps the whole slice in locals and",
+	"applies a fixed compare-exchange schedule, level by level, with no",
+	"data-dependent branches on the integer families — the comparator",
+	"count is the depth-optimal network's size, and the level grouping",
+	"leaves independent exchanges adjacent for the CPU to overlap.",
+	"",
+	"Regenerate with `make netgen`; `make netgen-check` fails the build",
+	"if the committed files drift from what cmd/netgen emits.",
+}
+
+func main() {
+	preset := flag.String("preset", "", "named generation preset: sortkernels")
+	net := flag.String("net", "", "network source: construction family, file:<path>, or regfile:<path>")
+	widths := flag.String("widths", "2..16", "widths to generate for construction families")
+	pkg := flag.String("pkg", "", "generated package name")
+	out := flag.String("out", "", "output directory (default ./<pkg>)")
+	flag.Parse()
+
+	opts := netgen.Options{}
+	var progs []*network.Program
+
+	switch {
+	case *preset == "sortkernels":
+		opts.Package = "sortkernels"
+		opts.Command = "go run ./cmd/netgen -preset sortkernels"
+		opts.Doc = sortkernelsDoc
+		opts.Provenance = map[int]string{}
+		for n := 2; n <= 16; n++ {
+			c := netbuild.DepthOptimal(n)
+			opts.Provenance[n] = fmt.Sprintf("depth-optimal (proven minimum %d)", netbuild.OptimalDepths[n])
+			progs = append(progs, c.Compile())
+		}
+	case *preset != "":
+		fail("unknown preset " + *preset)
+	case *net == "":
+		fail("need -preset or -net (see -h)")
+	default:
+		if *pkg == "" {
+			fail("need -pkg with -net")
+		}
+		opts.Package = *pkg
+		opts.Command = fmt.Sprintf("go run ./cmd/netgen -net %s -widths %s -pkg %s", *net, *widths, *pkg)
+		switch {
+		case strings.HasPrefix(*net, "file:"):
+			f, err := os.Open(strings.TrimPrefix(*net, "file:"))
+			if err != nil {
+				fail(err.Error())
+			}
+			circ, err := network.ReadText(f)
+			f.Close()
+			if err != nil {
+				fail("parse: " + err.Error())
+			}
+			progs = append(progs, circ.Compile())
+		case strings.HasPrefix(*net, "regfile:"):
+			f, err := os.Open(strings.TrimPrefix(*net, "regfile:"))
+			if err != nil {
+				fail(err.Error())
+			}
+			reg, err := network.ReadRegisterText(f)
+			f.Close()
+			if err != nil {
+				fail("parse: " + err.Error())
+			}
+			progs = append(progs, reg.Compile())
+		default:
+			build, ok := builders[*net]
+			if !ok {
+				fail("unknown family " + *net)
+			}
+			ns, err := parseWidths(*widths)
+			if err != nil {
+				fail(err.Error())
+			}
+			for _, n := range ns {
+				progs = append(progs, build(n).Compile())
+			}
+		}
+	}
+
+	files, err := netgen.Generate(opts, progs)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	dir := *out
+	if dir == "" {
+		dir = opts.Package
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err.Error())
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), src, 0o644); err != nil {
+			fail(err.Error())
+		}
+	}
+	fmt.Printf("netgen: wrote %d files to %s (package %s, %d widths)\n", len(files), dir, opts.Package, len(progs))
+}

@@ -17,6 +17,21 @@ func ExampleBitonic() {
 	// depth: 6 size: 24
 }
 
+// Short slices sort through the generated depth-optimal network
+// kernels (package sortkernels); longer ones fall back to slices.Sort.
+func ExampleSort() {
+	nums := []int{5, 2, 7, 0, 6, 1, 4, 3}
+	shufflenet.Sort(nums)
+	fmt.Println(nums)
+
+	words := []string{"comparator", "shuffle", "sort", "network"}
+	shufflenet.SortFunc(words, func(a, b string) bool { return len(a) < len(b) })
+	fmt.Println(words)
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+	// [sort shuffle network comparator]
+}
+
 // Stone's realization keeps every inter-step permutation the perfect
 // shuffle — the paper's network class.
 func ExampleShuffleBitonic() {

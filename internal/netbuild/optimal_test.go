@@ -1,0 +1,47 @@
+package netbuild
+
+import (
+	"testing"
+
+	"shufflenet/internal/sortcheck"
+)
+
+// Every curated table must be a valid network that sorts all 2^n 0-1
+// inputs (0-1 principle, bit-sliced kernel) — the tables are data, so
+// nothing short of exhaustive verification is trusted.
+func TestDepthOptimalSortsExhaustively(t *testing.T) {
+	for n := range depthOptimal {
+		c := DepthOptimal(n)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("DepthOptimal(%d): invalid network: %v", n, err)
+		}
+		if ok, witness := sortcheck.ZeroOne(n, c, 0); !ok {
+			t.Errorf("DepthOptimal(%d) does not sort; 0-1 witness %v", n, witness)
+		}
+	}
+}
+
+// The curated networks must meet the proven optimal depths — that is
+// the whole point of the table.
+func TestDepthOptimalDepths(t *testing.T) {
+	for n := range depthOptimal {
+		c := DepthOptimal(n)
+		if got, want := c.Depth(), OptimalDepths[n]; got != want {
+			t.Errorf("DepthOptimal(%d): depth %d, proven optimum %d", n, got, want)
+		}
+	}
+}
+
+func TestBestKnown(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		c := BestKnown(n)
+		if c.Wires() != n {
+			t.Fatalf("BestKnown(%d): %d wires", n, c.Wires())
+		}
+		if n <= sortcheck.MaxZeroOneWires {
+			if ok, witness := sortcheck.ZeroOne(n, c, 0); !ok {
+				t.Errorf("BestKnown(%d) does not sort; witness %v", n, witness)
+			}
+		}
+	}
+}

@@ -170,6 +170,41 @@ func (p *Program) SortsZeroOneInput(in []int) bool {
 	return bad == 0
 }
 
+// Levels returns the compiled level structure as (min, max) wire-index
+// pairs, one slice per level. The result is freshly allocated; callers
+// may mutate it. It exposes the flat comparator stream to consumers
+// that re-emit the program in another form (internal/netgen compiles
+// it to branchless Go source).
+func (p *Program) Levels() [][][2]int {
+	out := make([][][2]int, p.Depth())
+	for l := range out {
+		lo, hi := p.levelOff[l], p.levelOff[l+1]
+		lv := make([][2]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			lv = append(lv, [2]int{int(p.pairs[2*i]), int(p.pairs[2*i+1])})
+		}
+		out[l] = lv
+	}
+	return out
+}
+
+// OutputPerm returns the output relabeling as a permutation g with
+// out[i] = in[g[i]] applied after the comparator stream — the identity
+// for circuit-model programs, and the final register placement for
+// register-model ones.
+func (p *Program) OutputPerm() []int {
+	g := make([]int, p.n)
+	for i := range g {
+		g[i] = i
+	}
+	for _, cy := range p.gather {
+		for i := range cy {
+			g[cy[i]] = int(cy[(i+1)%len(cy)])
+		}
+	}
+	return g
+}
+
 // applyCycles applies the output relabeling out[r] = in[gather(r)]
 // in place by walking each cycle (r0, r1=g(r0), r2=g(r1), ...).
 func applyCycles[T any](cycles [][]int32, a []T) {

@@ -26,6 +26,7 @@ import (
 	mathbits "math/bits"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"shufflenet/internal/network"
@@ -93,6 +94,41 @@ func ZeroOneInput(mask uint64, n int) []int {
 	return in
 }
 
+// intoEvaluator is the allocation-free evaluation contract
+// (network.Program implements it): write the output for input into
+// dst, where dst and input may alias.
+type intoEvaluator interface {
+	EvalInto(dst, input []int)
+}
+
+// failsZeroOne returns pred(mask) = "ev does not sort the 0-1 input
+// mask". When ev exposes the EvalInto scratch path the predicate
+// expands the mask into, and evaluates in, a pooled per-worker buffer —
+// zero allocations per mask, which is what keeps the scalar oracle
+// usable as a differential baseline at width 20+ (one Eval per mask
+// costs two allocations and the GC traffic dominates the comparators).
+// Opaque evaluators keep the allocating Eval path.
+func failsZeroOne(n int, ev Evaluator) func(mask int) bool {
+	ie, ok := ev.(intoEvaluator)
+	if !ok {
+		return func(mask int) bool {
+			return !IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n)))
+		}
+	}
+	var pool = sync.Pool{New: func() any { s := make([]int, n); return &s }}
+	return func(mask int) bool {
+		bp := pool.Get().(*[]int)
+		buf := *bp
+		for i := 0; i < n; i++ {
+			buf[i] = mask >> uint(i) & 1
+		}
+		ie.EvalInto(buf, buf)
+		bad := !IsSorted(buf)
+		pool.Put(bp)
+		return bad
+	}
+}
+
 // ZeroOne applies the 0-1 principle: it evaluates the network on all
 // 2^n inputs from {0,1}^n (in parallel across workers; 0 = GOMAXPROCS)
 // and returns ok = true if every output is sorted. On failure, witness
@@ -143,9 +179,7 @@ func ZeroOneScalarCtx(ctx context.Context, n int, ev Evaluator, workers int) (ok
 		panic(fmt.Sprintf("sortcheck.ZeroOne: n = %d exceeds %d (2^n inputs)", n, MaxZeroOneWires))
 	}
 	total := 1 << uint(n)
-	pred := func(mask int) bool {
-		return !IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n)))
-	}
+	pred := failsZeroOne(n, ev)
 	var tried int64
 	if ctx.Done() != nil {
 		inner := pred
@@ -282,11 +316,12 @@ func ZeroOneFractionScalarCtx(ctx context.Context, n int, ev Evaluator, workers 
 	total := 1 << uint(n)
 	var tried int64
 	countTried := ctx.Done() != nil
+	fails := failsZeroOne(n, ev)
 	good, cerr := par.SumInt64Ctx(ctx, total, workers, func(mask int) int64 {
 		if countTried {
 			atomic.AddInt64(&tried, 1)
 		}
-		if IsSorted(ev.Eval(ZeroOneInput(uint64(mask), n))) {
+		if !fails(mask) {
 			return 1
 		}
 		return 0
@@ -529,6 +564,7 @@ func UnsortedZeroOneWitnessesScalarCtx(ctx context.Context, n int, ev Evaluator,
 	}
 	done := ctx.Done()
 	var out []uint64
+	fails := failsZeroOne(n, ev)
 	total := uint64(1) << uint(n)
 	mask := uint64(0)
 	for ; mask < total && len(out) < limit; mask++ {
@@ -545,7 +581,7 @@ func UnsortedZeroOneWitnessesScalarCtx(ctx context.Context, n int, ev Evaluator,
 			default:
 			}
 		}
-		if !IsSorted(ev.Eval(ZeroOneInput(mask, n))) {
+		if fails(int(mask)) {
 			out = append(out, mask)
 		}
 	}

@@ -19,8 +19,13 @@
 //     permutations (internal/benes),
 //   - the Section 3 pattern/refinement machinery (internal/pattern),
 //   - the constructive lower-bound adversary: Lemma 4.1, Theorem 4.1
-//     and Corollary 4.1.1 certificates (internal/core), and
-//   - sorting verification via the 0-1 principle (internal/sortcheck).
+//     and Corollary 4.1.1 certificates (internal/core),
+//   - sorting verification via the 0-1 principle (internal/sortcheck),
+//     and
+//   - a practical spin-off: generated branchless sorting kernels for
+//     widths 2..16 (sortkernels, emitted by cmd/netgen from the
+//     curated depth-optimal networks) behind the Sort and SortFunc
+//     dispatchers below.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduction results (experiments E1–E11,
