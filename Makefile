@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke fuzz experiments netgen netgen-check
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke fuzz experiments netgen netgen-check
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR6.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
 # kernels (see cmd/benchjson defaultGuard).
@@ -78,6 +78,17 @@ bench-smoke:
 	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_b.json
 	$(GO) run ./cmd/benchjson -diff -threshold 0.5 /tmp/bench_smoke_a.json /tmp/bench_smoke_b.json
+
+# obs-smoke drives the live-telemetry path end to end: a short adversary
+# optimum search with -progress and -journal, then cmd/obsreport over
+# the journal, which must parse every line and find at least one
+# heartbeat record. Exercises the sampler, the journal sink, and the
+# report parser against each other.
+obs-smoke:
+	rm -f /tmp/obs_smoke.jsonl
+	$(GO) run ./cmd/adversary -optimal -n 16 -blocks 2 -topology random -seed 3 \
+		-progress -progress-interval 100ms -journal /tmp/obs_smoke.jsonl 2>/dev/null
+	$(GO) run ./cmd/obsreport -require-heartbeats /tmp/obs_smoke.jsonl
 
 # Short fuzz pass over the parsers / compiled-kernel round trip and the
 # Sort dispatcher vs slices.Sort differential.

@@ -9,6 +9,7 @@
 //	adversary -n 256 -blocks 2 [-topology butterfly|random|bitonic]
 //	          [-seed N] [-k K] [-v] [-timeout 30s] [-workers N]
 //	          [-journal run.jsonl] [-metrics] [-pprof ADDR]
+//	          [-progress] [-progress-interval 1s]
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
 //	adversary -optimal [-memo BYTES|auto|off] [-n 16 ... | -file net.txt]
@@ -44,7 +45,13 @@
 // including the per-block reports (survivors, surviving-set counts,
 // collisions charged) and the certificate summary; -metrics dumps the
 // metric registry (block counts, survivor histogram, lemma counters)
-// to stderr at exit; -pprof serves /debug/pprof and /debug/vars.
+// to stderr at exit; -pprof serves /debug/pprof, /debug/vars, and
+// /debug/progress. -progress adds live telemetry at the
+// -progress-interval cadence: a rewriting stderr status line (blocks
+// or DFS nodes done, rates, ETA from the completion fraction) and —
+// when -journal is set — heartbeat records interleaved with the run
+// entry, so a killed run still leaves a progress trail (see
+// cmd/obsreport).
 //
 // Robustness: -timeout bounds the run; the deadline and SIGINT share
 // one cancellation path, so either way the journal entry is flushed
@@ -86,7 +93,9 @@ func main() {
 	check := flag.String("check", "", "verify a saved certificate (JSON) against the circuit from -file, then exit")
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
-	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /debug/progress on this address")
+	progress := flag.Bool("progress", false, "emit live progress: stderr status line, plus journal heartbeats when -journal is set")
+	progressIvl := flag.Duration("progress-interval", time.Second, "cadence of -progress snapshots")
 	optimal := flag.Bool("optimal", false, "run the exact optimum search instead of the constructive adversary (n <= 24; with -file, any circuit)")
 	memoSpec := flag.String("memo", "auto", "transposition table for -optimal: byte size, \"auto\", or \"off\"")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); partial per-block results are kept")
@@ -109,6 +118,9 @@ func main() {
 	cli.Entry.Seed = *seed
 	cli.Entry.Set("workers", *workers)
 	ctx := cli.SetupContext(*timeout)
+	if *progress {
+		prog = cli.StartProgress(*progressIvl)
+	}
 	defer cli.Finish()
 
 	if *check != "" {
@@ -185,7 +197,7 @@ func main() {
 	}
 
 	sp := obs.NewSpan("theorem41", obs.A("n", *n), obs.A("blocks", *blocks))
-	an, terr := core.Theorem41Ctx(ctx, it, *k)
+	an, terr := core.Theorem41Prog(ctx, it, *k, prog)
 	sp.End()
 	cli.Entry.AddSpans(sp)
 	if terr != nil {
@@ -227,6 +239,7 @@ func main() {
 var (
 	saveCert string
 	cli      *obs.CLIRun
+	prog     *obs.Progress // nil unless -progress
 )
 
 // printReports prints the per-block telemetry under -v.
@@ -345,7 +358,7 @@ func runOptimal(ctx context.Context, circ *network.Network, memoSpec string, wor
 	if n > core.MaxOptimalWires {
 		fail(fmt.Sprintf("-optimal handles at most %d wires (core.MaxOptimalWires); the circuit has %d", core.MaxOptimalWires, n))
 	}
-	opt := core.OptimalOptions{Workers: workers}
+	opt := core.OptimalOptions{Workers: workers, Progress: prog}
 	switch memoSpec {
 	case "off":
 		opt.NoMemo = true
@@ -422,7 +435,7 @@ func runOnFile(ctx context.Context, path string, l, k int, verbose bool) {
 	cli.Entry.Set("blocks", it.Blocks())
 
 	sp := obs.NewSpan("theorem41", obs.A("n", n), obs.A("blocks", it.Blocks()))
-	an, terr := core.Theorem41Ctx(ctx, it, k)
+	an, terr := core.Theorem41Prog(ctx, it, k, prog)
 	sp.End()
 	cli.Entry.AddSpans(sp)
 	if terr != nil {

@@ -49,12 +49,17 @@ type Result struct {
 	Extra       map[string]float64 `json:"extra,omitempty"` // custom ReportMetric units
 }
 
-// Doc is the whole report.
+// Doc is the whole report. Guard records the guard regexp in force
+// when the file was recorded, so a later -diff protects everything the
+// baseline protected even if the flag (or defaultGuard) has since been
+// narrowed: Diff guards the union of the old file's Guard and the
+// current -guard.
 type Doc struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Guard      string   `json:"guard,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -69,7 +74,7 @@ func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	diff := flag.Bool("diff", false, "compare two recorded JSON files: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 0.15, "with -diff: allowed fractional ns/op regression for guarded benchmarks")
-	guard := flag.String("guard", defaultGuard, "with -diff: regexp of benchmark names whose regressions fail the diff (empty = report only)")
+	guard := flag.String("guard", defaultGuard, "regexp of benchmark names whose regressions fail a -diff (empty = report only); when recording, stamped into the document so later diffs keep guarding it")
 	flag.Parse()
 
 	if *diff {
@@ -107,6 +112,7 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fail("no Benchmark lines found in input")
 	}
+	doc.Guard = *guard
 
 	w := os.Stdout
 	if *out != "" {
@@ -207,16 +213,17 @@ func stripProcs(name string) string {
 }
 
 // loadDoc reads a recorded benchjson file into a name→Result map
-// (names normalized via stripProcs).
-func loadDoc(path string) (map[string]Result, []string, error) {
+// (names normalized via stripProcs), plus the guard regexp stamped at
+// record time (empty for files recorded before guards were stamped).
+func loadDoc(path string) (map[string]Result, []string, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	defer f.Close()
 	var doc Doc
 	if err := json.NewDecoder(f).Decode(&doc); err != nil {
-		return nil, nil, fmt.Errorf("%s: %v", path, err)
+		return nil, nil, "", fmt.Errorf("%s: %v", path, err)
 	}
 	m := make(map[string]Result, len(doc.Benchmarks))
 	var names []string
@@ -227,12 +234,16 @@ func loadDoc(path string) (map[string]Result, []string, error) {
 		}
 		m[name] = b
 	}
-	return m, names, nil
+	return m, names, doc.Guard, nil
 }
 
 // Diff compares two recorded files and reports per-benchmark ns/op
 // deltas. It returns the number of guard failures: guarded benchmarks
 // that regressed past the threshold or vanished from the new file.
+// A benchmark is guarded if it matches the -guard regexp OR the guard
+// stamped into the old file when it was recorded — so a baseline's
+// protections cannot be silently dropped by narrowing the flag, and a
+// previously guarded benchmark that disappears still fails the diff.
 // Benchmarks only present on one side are reported but never fail the
 // diff unless guarded and missing from the new side — new benchmarks
 // arriving is the normal course of a growing suite.
@@ -244,11 +255,17 @@ func Diff(w io.Writer, oldPath, newPath, guard string, threshold float64) (int, 
 			return 0, fmt.Errorf("bad -guard regexp: %v", err)
 		}
 	}
-	oldM, oldNames, err := loadDoc(oldPath)
+	oldM, oldNames, oldGuard, err := loadDoc(oldPath)
 	if err != nil {
 		return 0, err
 	}
-	newM, newNames, err := loadDoc(newPath)
+	var oldGuardRE *regexp.Regexp
+	if oldGuard != "" && oldGuard != guard {
+		if oldGuardRE, err = regexp.Compile(oldGuard); err != nil {
+			return 0, fmt.Errorf("bad guard regexp recorded in %s: %v", oldPath, err)
+		}
+	}
+	newM, newNames, _, err := loadDoc(newPath)
 	if err != nil {
 		return 0, err
 	}
@@ -258,7 +275,8 @@ func Diff(w io.Writer, oldPath, newPath, guard string, threshold float64) (int, 
 	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range oldNames {
 		o := oldM[name]
-		isGuarded := guardRE != nil && guardRE.MatchString(name)
+		isGuarded := (guardRE != nil && guardRE.MatchString(name)) ||
+			(oldGuardRE != nil && oldGuardRE.MatchString(name))
 		n, ok := newM[name]
 		if !ok {
 			tag := ""

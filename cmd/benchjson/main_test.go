@@ -68,8 +68,14 @@ func TestStripProcs(t *testing.T) {
 // writeDoc records a Doc to a temp file for Diff tests.
 func writeDoc(t *testing.T, dir, name string, benches []Result) string {
 	t.Helper()
+	return writeDocGuard(t, dir, name, "", benches)
+}
+
+// writeDocGuard is writeDoc with a recorded guard regexp.
+func writeDocGuard(t *testing.T, dir, name, guard string, benches []Result) string {
+	t.Helper()
 	path := filepath.Join(dir, name)
-	data, err := json.Marshal(Doc{Benchmarks: benches})
+	data, err := json.Marshal(Doc{Guard: guard, Benchmarks: benches})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,6 +149,34 @@ func TestDiffGuardedMissing(t *testing.T) {
 	}
 	if failures != 1 {
 		t.Fatalf("a guarded benchmark vanishing must fail the diff; got %d\n%s", failures, buf.String())
+	}
+}
+
+func TestDiffRecordedGuardUnion(t *testing.T) {
+	// The baseline was recorded with a guard protecting BenchmarkLegacy;
+	// the diff runs with a narrower -guard that no longer matches it.
+	// The recorded guard must still protect it: vanishing fails.
+	dir := t.TempDir()
+	old := writeDocGuard(t, dir, "old.json", "BenchmarkLegacy$", []Result{
+		{Name: "BenchmarkLegacy-1", NsPerOp: 100},
+		{Name: "BenchmarkOther-1", NsPerOp: 100},
+	})
+	nu := writeDoc(t, dir, "new.json", []Result{
+		{Name: "BenchmarkOther-1", NsPerOp: 100},
+	})
+	var buf strings.Builder
+	failures, err := Diff(&buf, old, nu, defaultGuard, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("a benchmark guarded at record time vanished; want 1 failure, got %d\n%s", failures, buf.String())
+	}
+
+	// An invalid recorded guard must surface as an error, not be ignored.
+	bad := writeDocGuard(t, dir, "bad.json", "(", []Result{{Name: "BenchmarkX", NsPerOp: 1}})
+	if _, err := Diff(&strings.Builder{}, bad, nu, defaultGuard, 0.15); err == nil {
+		t.Fatal("expected an error for an invalid recorded guard regexp")
 	}
 }
 

@@ -7,6 +7,7 @@
 //	experiments [-run E4[,E5,...]] [-quick] [-seed N] [-csv] [-workers N]
 //	            [-memo BYTES|auto|off] [-timeout 30s] [-journal run.jsonl]
 //	            [-metrics] [-trace] [-pprof ADDR]
+//	            [-progress] [-progress-interval 1s]
 //
 // With no -run flag every experiment is executed in order. Empty
 // fields in -run (trailing or doubled commas) are ignored.
@@ -15,7 +16,12 @@
 // seed, timings, peak memory, final metrics, per-experiment spans);
 // -metrics dumps the metric registry to stderr at exit; -trace prints
 // the span tree (per-experiment phase timings) to stderr; -pprof
-// serves /debug/pprof and /debug/vars on ADDR.
+// serves /debug/pprof, /debug/vars, and /debug/progress on ADDR.
+// -progress adds live telemetry at the -progress-interval cadence: a
+// rewriting stderr status line showing the experiment being run,
+// sweep completion (with ETA), cell counters, and engine counters
+// (DFS nodes/sec, memo occupancy), plus heartbeat records in the
+// journal when -journal is set.
 //
 // Robustness: -timeout bounds the sweep; the deadline and SIGINT share
 // one cancellation path, so either way the run degrades to "tables
@@ -31,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"shufflenet/internal/experiments"
@@ -47,7 +54,9 @@ func main() {
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
 	trace := flag.Bool("trace", false, "print the span tree (phase timings) to stderr at exit")
-	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /debug/progress on this address")
+	progress := flag.Bool("progress", false, "emit live progress: stderr status line, plus journal heartbeats when -journal is set")
+	progressIvl := flag.Duration("progress-interval", time.Second, "cadence of -progress snapshots")
 	timeout := flag.Duration("timeout", 0, "stop the sweep after this duration (0 = none); completed tables are kept")
 	flag.Parse()
 
@@ -93,6 +102,27 @@ func main() {
 	cli.Entry.Set("memo_bytes", memoBytes) // 0 = auto, negative = off
 	ctx := cli.SetupContext(*timeout)
 
+	// The sweep-level source is registered before any engine source (the
+	// optimum searches register theirs per search), so it owns the
+	// snapshot's completion fraction and the ETA covers the whole sweep.
+	var prog *obs.Progress
+	var sweepDone atomic.Int64
+	var current atomic.Value // experiment ID being run
+	current.Store("")
+	if *progress {
+		prog = cli.StartProgress(*progressIvl)
+		total := int64(len(runners))
+		prog.Register(func(s *obs.Sample) {
+			done := sweepDone.Load()
+			s.Field("sweep.done", done)
+			s.Field("sweep.total", total)
+			if id, _ := current.Load().(string); id != "" {
+				s.Field("sweep.current", id)
+			}
+			s.SetFraction(float64(done), float64(total))
+		})
+	}
+
 	root := obs.NewSpan("experiments")
 	timings := map[string]float64{} // experiment ID → milliseconds
 	var completed, skipped []string
@@ -126,11 +156,13 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, MemoBytes: memoBytes, Ctx: ctx}
+		cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, MemoBytes: memoBytes, Ctx: ctx, Progress: prog}
 		cfg.Span = root.Child(r.ID, obs.A("brief", r.Brief))
+		current.Store(r.ID)
 		start := time.Now()
 		tab := r.Run(cfg)
 		cfg.Span.End()
+		sweepDone.Add(1)
 		timings[r.ID] = float64(cfg.Span.Duration()) / float64(time.Millisecond)
 		if ctx.Err() != nil {
 			truncated = r.ID // table rendered below, but cut short mid-sweep

@@ -1,0 +1,454 @@
+// Command obsreport turns the repo's observability artifacts — run
+// journals (JSONL, written by the CLIs' -journal flag) and recorded
+// benchmark snapshots (BENCH_PR*.json, written by benchjson) — into
+// human-readable reports:
+//
+//   - Per-run summaries: one block per invocation found in the
+//     journals, with wall/CPU time, peak memory, seed, and the
+//     heartbeat trail the run left while -progress was on.
+//   - Killed-run detection: a heartbeat trail whose run ID has no
+//     final journal entry is reported as INCOMPLETE with the last
+//     heartbeat's counters — the honest partial progress of a run
+//     that was killed or OOM'd mid-flight.
+//   - Run-over-run deltas: consecutive completed runs of the same
+//     command and arguments are compared (wall time, peak RSS), so a
+//     slowdown across a code change shows up without a profiler.
+//   - Bench trajectory: -bench takes a comma-separated list of
+//     benchjson files (e.g. the committed BENCH_PR*.json history) and
+//     renders a markdown table of ns/op per snapshot with the
+//     first→last delta, ready to paste into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	obsreport run.jsonl [more.jsonl ...]
+//	obsreport -require-heartbeats run.jsonl        # CI smoke: fail unless heartbeats present
+//	obsreport -bench BENCH_PR2.json,BENCH_PR4.json,BENCH_PR6.json [-filter REGEX]
+//
+// Exit status: 0 normally; 1 on parse errors or when
+// -require-heartbeats finds no heartbeat records.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	bench := flag.String("bench", "", "comma-separated benchjson files: render a markdown ns/op trajectory table instead of a journal report")
+	filter := flag.String("filter", "", "with -bench: regexp restricting which benchmarks appear in the table (default: all)")
+	requireHB := flag.Bool("require-heartbeats", false, "exit 1 unless at least one heartbeat record is present (CI smoke for -progress)")
+	flag.Parse()
+
+	if *bench != "" {
+		files := splitList(*bench)
+		if len(files) == 0 {
+			fail("-bench needs at least one file")
+		}
+		if err := BenchTable(os.Stdout, files, *filter); err != nil {
+			fail(err.Error())
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fail("no journal files given (and no -bench); see -h")
+	}
+	var recs []Record
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err.Error())
+		}
+		r, err := ParseJournal(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Sprintf("%s: %v", path, err))
+		}
+		recs = append(recs, r...)
+	}
+	runs := GroupRuns(recs)
+	WriteReport(os.Stdout, runs)
+	if *requireHB {
+		beats := 0
+		for _, r := range runs {
+			beats += len(r.Beats)
+		}
+		if beats == 0 {
+			fail("-require-heartbeats: no heartbeat records found (was the run started with -progress and -journal?)")
+		}
+		fmt.Printf("heartbeats: %d records across %d run(s)\n", beats, len(runs))
+	}
+}
+
+// Record is one journal line — either a run entry (no "type" field;
+// obs.Entry's schema) or a heartbeat ("type":"heartbeat"; obs.Sample's
+// schema). The two schemas share Time/Cmd/Run, so one struct decodes
+// both and Type discriminates.
+type Record struct {
+	Type string `json:"type"`
+	Time string `json:"time"`
+	Cmd  string `json:"cmd"`
+	Run  string `json:"run"`
+
+	// Entry fields.
+	Args   []string `json:"args"`
+	Seed   int64    `json:"seed"`
+	WallMS float64  `json:"wall_ms"`
+	CPUMS  float64  `json:"cpu_ms"`
+	Mem    struct {
+		MaxRSSKB int64 `json:"max_rss_kb"`
+	} `json:"mem"`
+	Interrupted bool           `json:"interrupted"`
+	TimedOut    bool           `json:"timed_out"`
+	Partial     map[string]any `json:"partial"`
+	Extra       map[string]any `json:"extra"`
+
+	// Heartbeat fields.
+	Seq       int64          `json:"seq"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Frac      float64        `json:"frac"`
+	EtaMS     float64        `json:"eta_ms"`
+	Fields    map[string]any `json:"fields"`
+	Final     bool           `json:"final"`
+}
+
+// ParseJournal reads one JSONL journal. Unparseable lines are an
+// error — a corrupt journal should be noticed, not skipped — except
+// for blank lines, which are tolerated.
+func ParseJournal(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// Run is one invocation reconstructed from the journal: its entry (nil
+// when the process died before writing one) and its heartbeat trail in
+// journal order.
+type Run struct {
+	ID    string
+	Cmd   string
+	Entry *Record
+	Beats []*Record
+}
+
+// Complete reports whether the run wrote its final entry.
+func (r *Run) Complete() bool { return r.Entry != nil }
+
+// GroupRuns correlates entries with their heartbeat trails by run ID,
+// preserving journal order. Entries from journals predating run IDs
+// get a synthetic per-line ID, so old journals still report (without
+// heartbeat correlation).
+func GroupRuns(recs []Record) []*Run {
+	var runs []*Run
+	index := map[string]*Run{}
+	get := func(id, cmd string) *Run {
+		if r, ok := index[id]; ok {
+			return r
+		}
+		r := &Run{ID: id, Cmd: cmd}
+		index[id] = r
+		runs = append(runs, r)
+		return r
+	}
+	for i := range recs {
+		rec := &recs[i]
+		id := rec.Run
+		if id == "" {
+			id = fmt.Sprintf("(pre-heartbeat journal, record %d)", i+1)
+		}
+		r := get(id, rec.Cmd)
+		if rec.Type == "heartbeat" {
+			r.Beats = append(r.Beats, rec)
+		} else {
+			r.Entry = rec
+		}
+	}
+	return runs
+}
+
+// WriteReport renders per-run summaries and run-over-run deltas.
+func WriteReport(w io.Writer, runs []*Run) {
+	// prev maps cmd+args → the previous completed run, for deltas.
+	prev := map[string]*Record{}
+	for _, r := range runs {
+		status := "completed"
+		failed := false
+		switch {
+		case !r.Complete():
+			status = "INCOMPLETE (heartbeat trail with no final entry — killed or OOM'd)"
+		case r.Entry.Interrupted:
+			status = "interrupted"
+		case r.Entry.TimedOut:
+			status = "timed out"
+		default:
+			// A CLI fail() flushes an orderly entry with the error
+			// message under extra.error — that run completed its
+			// teardown but not its work.
+			if msg, ok := r.Entry.Extra["error"].(string); ok && msg != "" {
+				status = "failed: " + msg
+				failed = true
+			}
+		}
+		fmt.Fprintf(w, "run %s\n", r.ID)
+		fmt.Fprintf(w, "  cmd %s  status %s\n", r.Cmd, status)
+		if e := r.Entry; e != nil {
+			fmt.Fprintf(w, "  started %s  args %s\n", e.Time, strings.Join(e.Args, " "))
+			fmt.Fprintf(w, "  wall %s  cpu %s  peak rss %s  seed %d\n",
+				fmtMS(e.WallMS), fmtMS(e.CPUMS), fmtKB(e.Mem.MaxRSSKB), e.Seed)
+			if len(e.Partial) > 0 {
+				fmt.Fprintf(w, "  partial progress: %s\n", fmtFields(e.Partial))
+			}
+			key := r.Cmd + " " + strings.Join(e.Args, " ")
+			if p := prev[key]; p != nil && p.WallMS > 0 {
+				fmt.Fprintf(w, "  vs previous identical run: wall %+.1f%%, peak rss %+.1f%%\n",
+					(e.WallMS/p.WallMS-1)*100, pctDelta(e.Mem.MaxRSSKB, p.Mem.MaxRSSKB))
+			}
+			if !e.Interrupted && !e.TimedOut && !failed {
+				prev[key] = e
+			}
+		}
+		if n := len(r.Beats); n > 0 {
+			last := r.Beats[n-1]
+			fmt.Fprintf(w, "  heartbeats %d (seq %d..%d)\n", n, r.Beats[0].Seq, last.Seq)
+			line := fmt.Sprintf("  last heartbeat: +%s", fmtMS(last.ElapsedMS))
+			if last.Frac > 0 {
+				line += fmt.Sprintf("  %.1f%% done", last.Frac*100)
+			}
+			if last.EtaMS > 0 && !last.Final {
+				line += fmt.Sprintf("  eta %s", fmtMS(last.EtaMS))
+			}
+			if len(last.Fields) > 0 {
+				line += "  " + fmtFields(last.Fields)
+			}
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d run(s): %d completed, %d incomplete\n",
+		len(runs), countComplete(runs), len(runs)-countComplete(runs))
+}
+
+func countComplete(runs []*Run) int {
+	n := 0
+	for _, r := range runs {
+		if r.Complete() {
+			n++
+		}
+	}
+	return n
+}
+
+// benchDoc mirrors the benchjson document schema (cmd/benchjson).
+type benchDoc struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// BenchTable renders a markdown ns/op trajectory across the given
+// benchjson snapshots, one column per file (labeled from the filename:
+// BENCH_PR6.json → PR6), one row per benchmark name present in any of
+// them, with a first→last delta column. filter restricts rows to
+// matching names ("" = all).
+func BenchTable(w io.Writer, files []string, filter string) error {
+	var filterRE *regexp.Regexp
+	if filter != "" {
+		var err error
+		if filterRE, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("bad -filter regexp: %v", err)
+		}
+	}
+	labels := make([]string, len(files))
+	cols := make([]map[string]float64, len(files))
+	var order []string
+	seen := map[string]bool{}
+	for i, path := range files {
+		labels[i] = benchLabel(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var doc benchDoc
+		err = json.NewDecoder(f).Decode(&doc)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		cols[i] = map[string]float64{}
+		for _, b := range doc.Benchmarks {
+			name := stripProcs(b.Name)
+			if filterRE != nil && !filterRE.MatchString(name) {
+				continue
+			}
+			cols[i][name] = b.NsPerOp
+			if !seen[name] {
+				seen[name] = true
+				order = append(order, name)
+			}
+		}
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(w, "| benchmark |")
+	for _, l := range labels {
+		fmt.Fprintf(w, " %s ns/op |", l)
+	}
+	fmt.Fprintf(w, " %s→%s |\n", labels[0], labels[len(labels)-1])
+	fmt.Fprintf(w, "|---|")
+	for range labels {
+		fmt.Fprintf(w, "---:|")
+	}
+	fmt.Fprintf(w, "---:|\n")
+	for _, name := range order {
+		fmt.Fprintf(w, "| %s |", strings.TrimPrefix(name, "Benchmark"))
+		for i := range cols {
+			if v, ok := cols[i][name]; ok {
+				fmt.Fprintf(w, " %s |", fmtNs(v))
+			} else {
+				fmt.Fprintf(w, " — |")
+			}
+		}
+		first, okF := cols[0][name]
+		last, okL := cols[len(cols)-1][name]
+		switch {
+		case okF && okL && first > 0:
+			fmt.Fprintf(w, " %+.1f%% |\n", (last/first-1)*100)
+		case okL:
+			fmt.Fprintf(w, " new |\n")
+		default:
+			fmt.Fprintf(w, " gone |\n")
+		}
+	}
+	return nil
+}
+
+// benchLabel derives a column label from a snapshot path:
+// "bench/BENCH_PR6.json" → "PR6".
+func benchLabel(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	base = strings.TrimPrefix(base, "BENCH_")
+	return base
+}
+
+// stripProcs removes go test's trailing -GOMAXPROCS suffix, exactly as
+// benchjson does, so snapshots recorded at different -cpu line up.
+func stripProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		allDigits := i+1 < len(name)
+		for _, c := range name[i+1:] {
+			if c < '0' || c > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fmtMS renders a millisecond quantity compactly (1.2s, 450ms, 2m3s).
+func fmtMS(ms float64) string {
+	switch {
+	case ms <= 0:
+		return "0"
+	case ms < 1000:
+		return fmt.Sprintf("%.0fms", ms)
+	case ms < 60_000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	default:
+		m := int(ms / 60_000)
+		return fmt.Sprintf("%dm%.0fs", m, ms/1000-float64(m)*60)
+	}
+}
+
+func fmtKB(kb int64) string {
+	switch {
+	case kb <= 0:
+		return "n/a"
+	case kb < 1024:
+		return fmt.Sprintf("%d KB", kb)
+	default:
+		return fmt.Sprintf("%.1f MB", float64(kb)/1024)
+	}
+}
+
+func fmtNs(v float64) string {
+	if v >= 100 || v == float64(int64(v)) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// fmtFields renders a small JSON object as sorted key=value pairs.
+// JSON numbers decode as float64; integral ones print as integers, not
+// scientific notation.
+func fmtFields(m map[string]any) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		v := m[k]
+		if f, ok := v.(float64); ok {
+			if f == float64(int64(f)) {
+				parts[i] = fmt.Sprintf("%s=%d", k, int64(f))
+				continue
+			}
+			parts[i] = fmt.Sprintf("%s=%.4g", k, f)
+			continue
+		}
+		parts[i] = fmt.Sprintf("%s=%v", k, v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "obsreport:", msg)
+	os.Exit(1)
+}
+
+// pctDelta is a percentage change guarded against a zero baseline.
+func pctDelta(now, then int64) float64 {
+	if then <= 0 {
+		return 0
+	}
+	return (float64(now)/float64(then) - 1) * 100
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJournal = `{"time":"2026-08-07T10:00:00Z","cmd":"adversary","run":"adversary-1-a","args":["-n","256"],"seed":7,"wall_ms":1500,"cpu_ms":5000,"mem":{"max_rss_kb":20480}}
+{"type":"heartbeat","run":"adversary-2-b","cmd":"adversary","seq":1,"time":"2026-08-07T10:01:00Z","elapsed_ms":1000,"frac":0.25,"eta_ms":3000,"fields":{"optimal.nodes":1000}}
+{"type":"heartbeat","run":"adversary-2-b","cmd":"adversary","seq":2,"time":"2026-08-07T10:01:01Z","elapsed_ms":2000,"frac":0.5,"eta_ms":2000,"fields":{"optimal.nodes":2500}}
+{"type":"heartbeat","run":"adversary-2-b","cmd":"adversary","seq":3,"time":"2026-08-07T10:01:02Z","elapsed_ms":3000,"frac":0.75,"eta_ms":1000,"fields":{"optimal.nodes":4000}}
+{"time":"2026-08-07T10:02:00Z","cmd":"adversary","run":"adversary-3-c","args":["-n","256"],"seed":7,"wall_ms":3000,"cpu_ms":9000,"mem":{"max_rss_kb":40960}}
+`
+
+func TestParseAndGroup(t *testing.T) {
+	recs, err := ParseJournal(strings.NewReader(sampleJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	runs := GroupRuns(recs)
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3: %+v", len(runs), runs)
+	}
+	// First and third runs completed with no heartbeats; the middle one
+	// is a pure heartbeat trail — the killed-run signature.
+	if !runs[0].Complete() || len(runs[0].Beats) != 0 {
+		t.Fatalf("run 0 should be a bare completed entry: %+v", runs[0])
+	}
+	killed := runs[1]
+	if killed.Complete() {
+		t.Fatalf("run 1 has no entry and must report incomplete: %+v", killed)
+	}
+	if len(killed.Beats) != 3 {
+		t.Fatalf("run 1 should have 3 heartbeats, got %d", len(killed.Beats))
+	}
+	for i, b := range killed.Beats {
+		if b.Seq != int64(i+1) {
+			t.Fatalf("heartbeat %d has seq %d, want %d", i, b.Seq, i+1)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	recs, err := ParseJournal(strings.NewReader(sampleJournal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	WriteReport(&buf, GroupRuns(recs))
+	out := buf.String()
+	for _, want := range []string{
+		"INCOMPLETE",                // the orphan heartbeat trail is flagged
+		"heartbeats 3",              // with its trail length
+		"75.0% done",                // and the last heartbeat's fraction
+		"optimal.nodes",             // and its counters
+		"vs previous identical run", // runs 1 and 3 share cmd+args
+		"3 run(s): 2 completed, 1 incomplete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// Wall went 1500 → 3000 ms between the identical runs: +100%.
+	if !strings.Contains(out, "wall +100.0%") {
+		t.Errorf("run-over-run delta missing or wrong:\n%s", out)
+	}
+}
+
+// TestWriteReportFailedRun: a CLI fail() flushes an orderly entry with
+// extra.error set — the report must say failed, not completed, and the
+// failed run must not become the delta baseline for later runs.
+func TestWriteReportFailedRun(t *testing.T) {
+	const j = `{"time":"2026-08-07T10:00:00Z","cmd":"adversary","run":"adversary-1-a","args":["-n","20"],"wall_ms":8,"extra":{"error":"n must be a power of two"}}
+{"time":"2026-08-07T10:01:00Z","cmd":"adversary","run":"adversary-2-b","args":["-n","20"],"wall_ms":9}
+`
+	recs, err := ParseJournal(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	WriteReport(&buf, GroupRuns(recs))
+	out := buf.String()
+	if !strings.Contains(out, "status failed: n must be a power of two") {
+		t.Errorf("failed run not flagged:\n%s", out)
+	}
+	if strings.Contains(out, "vs previous identical run") {
+		t.Errorf("failed run must not be a delta baseline:\n%s", out)
+	}
+}
+
+func TestParseJournalRejectsCorrupt(t *testing.T) {
+	if _, err := ParseJournal(strings.NewReader("{\"cmd\":\"x\"}\nnot json\n")); err == nil {
+		t.Fatal("corrupt journal line must be an error")
+	}
+}
+
+// writeBench records a minimal benchjson document.
+func writeBench(t *testing.T, dir, name string, ns map[string]float64) string {
+	t.Helper()
+	type b struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	var doc struct {
+		Benchmarks []b `json:"benchmarks"`
+	}
+	for n, v := range ns {
+		doc.Benchmarks = append(doc.Benchmarks, b{Name: n, NsPerOp: v})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchTable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "BENCH_PR2.json", map[string]float64{
+		"BenchmarkKernel/bits-8": 100,
+		"BenchmarkRetired-8":     50,
+	})
+	nu := writeBench(t, dir, "BENCH_PR6.json", map[string]float64{
+		"BenchmarkKernel/bits-1": 80, // GOMAXPROCS suffix differs; must line up
+		"BenchmarkFresh-1":       10,
+	})
+	var buf strings.Builder
+	if err := BenchTable(&buf, []string{old, nu}, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| benchmark | PR2 ns/op | PR6 ns/op | PR2→PR6 |", // labels from filenames
+		"| Kernel/bits | 100 | 80 | -20.0% |",             // suffixes stripped, delta computed
+		"new",                                             // Fresh only in PR6
+		"gone",                                            // Retired only in PR2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+
+	// The filter restricts rows.
+	buf.Reset()
+	if err := BenchTable(&buf, []string{old, nu}, "Kernel"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Fresh") {
+		t.Errorf("filtered table still contains Fresh:\n%s", buf.String())
+	}
+}

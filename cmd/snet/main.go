@@ -33,7 +33,11 @@
 //
 // Observability: -journal appends one JSON line per invocation (family,
 // n, op, result, metrics); -metrics dumps the metric registry to stderr
-// at exit; -pprof serves /debug/pprof and /debug/vars on ADDR.
+// at exit; -pprof serves /debug/pprof, /debug/vars, and /debug/progress
+// on ADDR. -progress adds live telemetry at the -progress-interval
+// cadence — for -op check the status line shows masks scanned, the
+// scan rate, and an ETA over the 2^n input space, and heartbeat
+// records land in the journal when -journal is set.
 package main
 
 import (
@@ -44,6 +48,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"shufflenet/internal/bits"
 	"shufflenet/internal/delta"
@@ -67,7 +72,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	journal := flag.String("journal", "", "append a run-journal JSON line to this path")
 	metrics := flag.Bool("metrics", false, "dump the metric registry to stderr at exit")
-	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /debug/progress on this address")
+	progress := flag.Bool("progress", false, "emit live progress: stderr status line, plus journal heartbeats when -journal is set")
+	progressIvl := flag.Duration("progress-interval", time.Second, "cadence of -progress snapshots")
 	timeout := flag.Duration("timeout", 0, "cancel -op check after this duration (0 = none)")
 	flag.Parse()
 
@@ -80,6 +87,10 @@ func main() {
 	cli.Entry.Set("family", *family)
 	cli.Entry.Set("op", *op)
 	ctx := cli.SetupContext(*timeout)
+	var prog *obs.Progress
+	if *progress {
+		prog = cli.StartProgress(*progressIvl)
+	}
 	defer cli.Finish()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -162,6 +173,16 @@ func main() {
 		width := *n
 		sp := obs.NewSpan("check", obs.A("n", width))
 		if width <= maxExhaustiveCheck {
+			if prog != nil {
+				// The masks counter is cumulative across the process;
+				// baseline it so the fraction covers this scan only.
+				masks := obs.C("sortcheck.zeroone.masks")
+				base := masks.Value()
+				total := float64(int64(1) << uint(width))
+				prog.Register(func(s *obs.Sample) {
+					s.SetFraction(float64(masks.Value()-base), total)
+				})
+			}
 			ok, w, cerr := sortcheck.ZeroOneCtx(ctx, width, ev, 0)
 			sp.End()
 			if cerr != nil {

@@ -59,10 +59,12 @@ const (
 )
 
 var (
-	metMemoHits   = obs.C("core.optimal.memo.hits")
-	metMemoMisses = obs.C("core.optimal.memo.misses")
-	metMemoStores = obs.C("core.optimal.memo.stores")
-	metMemoEvicts = obs.C("core.optimal.memo.evictions")
+	metMemoHits    = obs.C("core.optimal.memo.hits")
+	metMemoMisses  = obs.C("core.optimal.memo.misses")
+	metMemoStores  = obs.C("core.optimal.memo.stores")
+	metMemoEvicts  = obs.C("core.optimal.memo.evictions")
+	metMemoEntries = obs.G("core.optimal.memo.entries")
+	metMemoLoad    = obs.FG("core.optimal.memo.load")
 )
 
 // NewMemo allocates a table of at most the given byte budget (rounded
@@ -129,6 +131,15 @@ func (m *Memo) flush(st *memoStats) {
 	metMemoMisses.Add(st.misses)
 	metMemoStores.Add(st.stores)
 	metMemoEvicts.Add(st.evicts)
+	// Occupancy gauges: entries = stores − evictions (a store either
+	// fills a free slot or replaces an occupied one). When several
+	// tables share the registry the gauges track the most recently
+	// flushed table — the one actively searching.
+	entries := m.stores.Load() - m.evicts.Load()
+	metMemoEntries.Set(entries)
+	if slots := m.bytes / memoEntryCost; slots > 0 {
+		metMemoLoad.Set(float64(entries) / float64(slots))
+	}
 	*st = memoStats{}
 }
 
@@ -198,19 +209,34 @@ type MemoStats struct {
 	Misses    int64 `json:"misses"`
 	Stores    int64 `json:"stores"`
 	Evictions int64 `json:"evictions"`
+	// Entries is the number of occupied slots (stores − evictions),
+	// Capacity the total slot count, and LoadFactor their ratio — how
+	// full the bounded table is, i.e. how close the search is to
+	// eviction churn.
+	Entries    int64   `json:"entries"`
+	Capacity   int64   `json:"capacity"`
+	LoadFactor float64 `json:"load_factor"`
 }
 
 // Stats reports the table size and cumulative counters. Counters are
-// flushed at the end of each search, so mid-search reads may lag.
+// flushed at the end of each search — and, when a Progress engine is
+// attached to the search, at the cancellation-probe cadence — so
+// mid-search reads lag by at most one flush stride.
 func (m *Memo) Stats() MemoStats {
 	if m == nil {
 		return MemoStats{}
 	}
-	return MemoStats{
+	s := MemoStats{
 		Bytes:     m.bytes,
 		Hits:      m.hits.Load(),
 		Misses:    m.misses.Load(),
 		Stores:    m.stores.Load(),
 		Evictions: m.evicts.Load(),
+		Capacity:  m.bytes / memoEntryCost,
 	}
+	s.Entries = s.Stores - s.Evictions
+	if s.Capacity > 0 {
+		s.LoadFactor = float64(s.Entries) / float64(s.Capacity)
+	}
+	return s
 }

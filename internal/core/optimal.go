@@ -72,6 +72,16 @@ type OptimalOptions struct {
 	Memo *Memo
 	// NoMemo disables the transposition table entirely.
 	NoMemo bool
+	// Progress, when non-nil and started, receives live telemetry: a
+	// registered source reports DFS nodes (with derived nodes/sec),
+	// prefix-frontier completion (driving the ETA), the current
+	// incumbent size, and memo occupancy; incumbent improvements are
+	// published as timestamped events carrying the packed witness.
+	// Telemetry is read-only — results are byte-identical with it on
+	// or off — and when the engine is disabled the search pays one
+	// atomic load per cancellation-probe stride (every 2^13 nodes),
+	// nothing per node.
+	Progress *obs.Progress
 }
 
 // OptimalNoncolliding finds, over all 3^n patterns with symbols
@@ -149,6 +159,27 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 	var canceled atomic.Bool
 	done := ctx.Done()
 
+	// Live-telemetry state: workers fold their local node counts in at
+	// the cancellation-probe cadence (and at prefix boundaries), so a
+	// Progress source can report nodes/sec and frontier completion
+	// without the hot loop ever touching a shared atomic per node.
+	prog := opt.Progress
+	var liveNodes, prefixesDone atomic.Int64
+	if prog != nil {
+		unregister := prog.Register(func(s *obs.Sample) {
+			s.Counter("optimal.nodes", liveNodes.Load())
+			dp := prefixesDone.Load()
+			s.Field("optimal.prefixes_done", dp)
+			s.Field("optimal.prefixes_total", int64(prefixes))
+			s.SetFraction(float64(dp), float64(prefixes))
+			s.Field("optimal.incumbent", int64(incumbent.Load()>>keyBits))
+			if mm != nil {
+				s.Field("optimal.memo_load", mm.Stats().LoadFactor)
+			}
+		})
+		defer unregister()
+	}
+
 	worker := func() {
 		sim := newIncSim(cz)
 		ranks := make([]uint8, n) // by wire
@@ -159,6 +190,7 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 		domS := make([][]uint8, n)
 		var st memoStats
 		var nodes, domCuts int64
+		var nodesFlushed int64
 		stopped := false
 		probe := 0
 		const probeEvery = 1 << 13
@@ -166,6 +198,7 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 			mm.flush(&st)
 			metOptimalNodes.Add(nodes)
 			metOptimalDomCuts.Add(domCuts)
+			liveNodes.Add(nodes - nodesFlushed)
 		}()
 
 		checkCancel := func() bool {
@@ -256,6 +289,11 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 				if checkCancel() {
 					stopped = true
 				}
+				if prog.Enabled() {
+					liveNodes.Add(nodes - nodesFlushed)
+					nodesFlushed = nodes
+					mm.flush(&st)
+				}
 			}
 			if stopped {
 				return bound
@@ -269,7 +307,16 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 					pk := uint64(mCount)<<keyBits | (key ^ keyMask)
 					for {
 						cur := incumbent.Load()
-						if pk <= cur || incumbent.CompareAndSwap(cur, pk) {
+						if pk <= cur {
+							break
+						}
+						if incumbent.CompareAndSwap(cur, pk) {
+							if prog.Enabled() {
+								prog.Event("incumbent", map[string]any{
+									"size":   mCount,
+									"packed": pk,
+								})
+							}
 							break
 						}
 					}
@@ -407,12 +454,14 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 				}
 			}
 			if !live {
+				prefixesDone.Add(1)
 				continue
 			}
 			dfs(digits, mCount, cap)
 			if stopped {
 				return
 			}
+			prefixesDone.Add(1)
 		}
 	}
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"shufflenet/internal/delta"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/par"
 	"shufflenet/internal/pattern"
 )
@@ -62,8 +64,30 @@ func Theorem41(it *delta.Iterated, k int) *Analysis {
 // from a canceled run: D is noncolliding only for the prefix of the
 // network actually processed.
 func Theorem41Ctx(ctx context.Context, it *delta.Iterated, k int) (*Analysis, error) {
+	return Theorem41Prog(ctx, it, k, nil)
+}
+
+// Theorem41Prog is Theorem41Ctx with live telemetry: when prog is
+// non-nil a registered source reports blocks done/total (driving the
+// engine's completion fraction and ETA) and the adversary's current
+// survivor count after the last completed block. Telemetry is
+// read-only; the analysis is identical with it on or off.
+func Theorem41Prog(ctx context.Context, it *delta.Iterated, k int, prog *obs.Progress) (*Analysis, error) {
 	inc := NewIncremental(it.Slots(), k)
-	for b := 0; b < it.Blocks(); b++ {
+	blocks := it.Blocks()
+	var blocksDone, survivors atomic.Int64
+	if prog != nil {
+		survivors.Store(int64(len(inc.D())))
+		unregister := prog.Register(func(s *obs.Sample) {
+			bd := blocksDone.Load()
+			s.Field("adversary.blocks_done", bd)
+			s.Field("adversary.blocks_total", int64(blocks))
+			s.Field("adversary.survivors", survivors.Load())
+			s.SetFraction(float64(bd), float64(blocks))
+		})
+		defer unregister()
+	}
+	for b := 0; b < blocks; b++ {
 		if _, err := inc.AddBlockCtx(ctx, it.Pre(b), it.Block(b)); err != nil {
 			return inc.Analysis(), &par.ErrCanceled{
 				Op:         "core.Theorem41",
@@ -71,6 +95,14 @@ func Theorem41Ctx(ctx context.Context, it *delta.Iterated, k int) (*Analysis, er
 				BlocksDone: b,
 				Survivors:  len(inc.D()),
 			}
+		}
+		blocksDone.Store(int64(b + 1))
+		survivors.Store(int64(len(inc.D())))
+		if prog.Enabled() {
+			prog.Event("block", map[string]any{
+				"block":     b,
+				"survivors": len(inc.D()),
+			})
 		}
 		if inc.Dead() {
 			break

@@ -1,7 +1,17 @@
 package experiments
 
 import (
+	"shufflenet/internal/obs"
 	"shufflenet/internal/par"
+)
+
+// Cell counters: total is bumped when a sweep's cells are scheduled,
+// done as each cell finishes, so a live-telemetry sample of the pair
+// reads as sweep completion (and the rate of done as cells/sec). One
+// atomic add per cell — cells are seconds-scale units of work.
+var (
+	metCellsTotal = obs.C("experiments.cells.total")
+	metCellsDone  = obs.C("experiments.cells.done")
 )
 
 // cellRow is one experiment cell's output: the row it contributes to
@@ -26,9 +36,11 @@ type cellRow struct {
 func runCells(cfg Config, t *Table, count int, cell func(i int) cellRow) bool {
 	results := make([]cellRow, count)
 	done := make([]bool, count)
+	metCellsTotal.Add(int64(count))
 	err := par.ForEachGrainCtx(cfg.Context(), count, cfg.Workers, 1, func(i int) {
 		results[i] = cell(i)
 		done[i] = true
+		metCellsDone.Inc()
 	})
 	for i := 0; i < count; i++ {
 		if !done[i] {

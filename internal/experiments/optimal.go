@@ -20,13 +20,13 @@ import (
 // off, or at any size.
 func optimalSearch(cfg Config) core.OptimalOptions {
 	if cfg.MemoBytes < 0 {
-		return core.OptimalOptions{Workers: cfg.Workers, NoMemo: true}
+		return core.OptimalOptions{Workers: cfg.Workers, NoMemo: true, Progress: cfg.Progress}
 	}
 	bytes := cfg.MemoBytes
 	if bytes == 0 {
 		bytes = 32 << 20
 	}
-	return core.OptimalOptions{Workers: cfg.Workers, Memo: core.NewMemo(bytes)}
+	return core.OptimalOptions{Workers: cfg.Workers, Memo: core.NewMemo(bytes), Progress: cfg.Progress}
 }
 
 // noteMemo appends the table's cumulative counters to the (timing,

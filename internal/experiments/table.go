@@ -132,6 +132,11 @@ type Config struct {
 	// between rows (and pass it to the ctx-aware engines) so a deadline
 	// or interrupt truncates the table instead of killing the sweep.
 	Ctx context.Context
+	// Progress, when non-nil, receives live telemetry from the engines
+	// the experiments drive (the optimum searches thread it into their
+	// OptimalOptions) and per-cell completion counters from runCells.
+	// Telemetry never changes a table cell.
+	Progress *obs.Progress
 }
 
 // Phase starts a child span of the config's span (nil-safe), tagging

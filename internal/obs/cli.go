@@ -31,10 +31,11 @@ type CLIRun struct {
 	// their payload with Entry.Set before Finish.
 	Entry *Entry
 
-	journal *Journal
-	metrics bool
-	reg     *Registry
-	ln      net.Listener // debug server listener; closed by Finish
+	journal  *Journal
+	metrics  bool
+	reg      *Registry
+	ln       net.Listener // debug server listener; closed by Finish
+	progress *Progress    // from StartProgress; stopped by Finish
 
 	ctx    context.Context    // from SetupContext; nil when not used
 	cancel context.CancelFunc // cancels ctx and releases the signal goroutine
@@ -73,6 +74,36 @@ func StartCLI(cmd, journalPath string, metrics bool, pprofAddr string) (*CLIRun,
 
 // Journaling reports whether a journal file is attached.
 func (r *CLIRun) Journaling() bool { return r != nil && r.journal != nil }
+
+// StartProgress begins live telemetry for the run: a status line on
+// stderr, heartbeat records in the journal (when -journal is given, so
+// killed runs leave a trace trail), and /debug/progress + the
+// "shufflenet.progress" expvar on the -pprof debug server. interval <= 0
+// selects the 1 s default. The returned engine is already running; the
+// caller registers richer sources (engines pass it down via options)
+// and Finish stops it. A built-in source samples the run's metric
+// registry — memo hits/misses/load, par worker occupancy, experiment
+// cells, kernel counters — so every heartbeat carries the registry
+// state with derived rates even before any engine-specific source
+// registers.
+func (r *CLIRun) StartProgress(interval time.Duration) *Progress {
+	if r == nil {
+		return nil
+	}
+	p := NewProgress(r.Entry.Cmd, r.Entry.Run, interval)
+	reg := r.reg
+	p.Register(func(s *Sample) {
+		reg.SampleInto(s,
+			"core.", "par.", "experiments.", "sortcheck.", "halver.", "network.evalbits.")
+	})
+	p.AddSink(NewStatusSink(os.Stderr))
+	if r.journal != nil {
+		p.AddSink(JournalSink(r.journal))
+	}
+	p.Start()
+	r.progress = p
+	return p
+}
 
 // SetupContext returns the run's context: canceled when timeout
 // elapses (timeout <= 0 means none) or when SIGINT/SIGTERM arrives, so
@@ -146,6 +177,10 @@ func (r *CLIRun) finish(dumpMetrics bool) {
 	r.done = true
 	interrupted := r.interrupted
 	r.mu.Unlock()
+
+	// Stop the progress engine first: its final heartbeat lands before
+	// the entry, so the journal tail reads heartbeat…heartbeat, entry.
+	r.progress.Stop()
 
 	// Read the cancellation state before releasing the context: an
 	// interrupt beats a deadline when both raced (the user acted).

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
@@ -15,8 +16,12 @@ import (
 // audit a CLI or experiment invocation. Marshaled as a single JSON
 // object (one line in the journal).
 type Entry struct {
-	Time      string   `json:"time"` // RFC3339, start of run
-	Cmd       string   `json:"cmd"`
+	Time string `json:"time"` // RFC3339, start of run
+	Cmd  string `json:"cmd"`
+	// Run correlates this entry with the heartbeat records the same
+	// invocation wrote (see Progress/JournalSink): a heartbeat trail
+	// with no matching entry is the signature of a killed/OOM'd run.
+	Run       string   `json:"run,omitempty"`
 	Args      []string `json:"args"`
 	Seed      int64    `json:"seed,omitempty"`
 	GoVersion string   `json:"go_version"`
@@ -61,6 +66,7 @@ func NewEntry(cmd string) *Entry {
 	e := &Entry{
 		Time:      now.UTC().Format(time.RFC3339),
 		Cmd:       cmd,
+		Run:       fmt.Sprintf("%s-%d-%x", cmd, os.Getpid(), now.UnixNano()),
 		Args:      append([]string(nil), os.Args[1:]...),
 		GoVersion: runtime.Version(),
 		OS:        runtime.GOOS,
@@ -162,7 +168,18 @@ func (j *Journal) Write(e *Entry) error {
 	if j == nil || e == nil {
 		return nil
 	}
-	line, err := json.Marshal(e)
+	return j.WriteRecord(e)
+}
+
+// WriteRecord appends any JSON-marshalable record as one line and
+// syncs the file — the heartbeat path (Progress's JournalSink) shares
+// the entry path's durability: a record that was written survives a
+// kill -9 one line later.
+func (j *Journal) WriteRecord(v any) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}

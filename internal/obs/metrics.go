@@ -417,6 +417,48 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// SampleInto writes the registry's nonzero metrics whose names start
+// with one of the given prefixes (no prefixes = all) into the progress
+// sample: counters via Sample.Counter, so the engine derives per-second
+// rates; gauges as plain fields; histograms contribute their count.
+// Zero values are skipped to keep heartbeat lines compact — a metric
+// appears once the instrumented path has actually run.
+func (r *Registry) SampleInto(s *Sample, prefixes ...string) {
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		if v := c.Value(); v != 0 && match(n) {
+			s.Counter(n, v)
+		}
+	}
+	for n, g := range r.gauges {
+		if v := g.Value(); v != 0 && match(n) {
+			s.Field(n, v)
+		}
+	}
+	for n, g := range r.fgauges {
+		if v := g.Value(); v != 0 && match(n) {
+			s.Field(n, v)
+		}
+	}
+	for n, h := range r.hists {
+		if v := h.Count(); v != 0 && match(n) {
+			s.Counter(n+".count", v)
+		}
+	}
+}
+
 // WriteText dumps the registry as sorted "name value" lines —
 // what the CLIs print for -metrics.
 func (r *Registry) WriteText(w io.Writer) error {

@@ -1,0 +1,12 @@
+package obs
+
+import "runtime"
+
+// memSysKB is the platform-independent peak-footprint fallback:
+// MemStats.Sys (total bytes obtained from the OS, which only grows) in
+// KiB. Used where the OS offers no rusage-style peak-RSS reading.
+func memSysKB() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys / 1024)
+}

@@ -1,9 +1,15 @@
-//go:build !unix
+//go:build !unix && !windows
 
 package obs
 
-// cpuMillis is unavailable on non-unix platforms; journals record 0.
+// cpuMillis has no process-CPU clock to read here (no getrusage, no
+// GetProcessTimes); journals record 0 and the cpu_ms field is omitted.
 func cpuMillis() float64 { return 0 }
 
-// maxRSSKB is unavailable on non-unix platforms; journals record 0.
-func maxRSSKB() int64 { return 0 }
+// maxRSSKB falls back to the Go runtime's MemStats.Sys — total bytes
+// obtained from the OS — so journals written off-unix carry a
+// comparable peak-footprint figure instead of zero. It underestimates
+// a true RSS (no cgo allocations, no binary text) but tracks the same
+// growth ru_maxrss tracks, which is what run-over-run comparisons in
+// obsreport need.
+func maxRSSKB() int64 { return memSysKB() }

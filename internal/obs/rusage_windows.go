@@ -1,0 +1,26 @@
+//go:build windows
+
+package obs
+
+import "syscall"
+
+// cpuMillis returns the process's kernel+user CPU time in
+// milliseconds, from GetProcessTimes — the Windows equivalent of the
+// unix getrusage(2) reading, so journals stay comparable across
+// platforms.
+func cpuMillis() float64 {
+	h, err := syscall.GetCurrentProcess()
+	if err != nil {
+		return 0
+	}
+	var creation, exit, kernel, user syscall.Filetime
+	if err := syscall.GetProcessTimes(h, &creation, &exit, &kernel, &user); err != nil {
+		return 0
+	}
+	return float64(kernel.Nanoseconds()+user.Nanoseconds()) / 1e6
+}
+
+// maxRSSKB reports the MemStats-based fallback (std-lib syscall has no
+// GetProcessMemoryInfo): an underestimate of working-set peak, but
+// nonzero and comparable run-over-run.
+func maxRSSKB() int64 { return memSysKB() }

@@ -34,16 +34,24 @@ import (
 const minParallel = 2048
 
 // Runtime metrics: one or two atomic adds per parallel *invocation*
-// (never per item), so the loops themselves stay untouched. The
-// workers gauge records the fan-out of the most recent parallel
-// invocation — on a loaded run it reads as effective parallelism.
+// plus one add/sub pair per worker *goroutine* (never per item), so the
+// loops themselves stay untouched. The workers.last gauge records the
+// fan-out of the most recent parallel invocation; workers.active counts
+// goroutines currently inside a parallel region, so a live-telemetry
+// sample of it reads as instantaneous occupancy.
 var (
 	metChunks     = obs.C("par.chunks")
 	metSequential = obs.C("par.sequential")
 	metItems      = obs.C("par.items")
 	metCanceled   = obs.C("par.canceled")
 	metWorkers    = obs.G("par.workers.last")
+	metActive     = obs.G("par.workers.active")
 )
+
+// workerEnter/workerExit bracket each worker goroutine's life for the
+// occupancy gauge.
+func workerEnter() { metActive.Add(1) }
+func workerExit()  { metActive.Add(-1) }
 
 // Workers returns the effective worker count for a range of size n given
 // a requested count (0 means GOMAXPROCS). The result is at least 1 and
@@ -141,6 +149,8 @@ func forEachGrain(ctx context.Context, done <-chan struct{}, n, workers, grain i
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			workerEnter()
+			defer workerExit()
 			for ; lo < hi; lo += grain {
 				if canceled(done) {
 					return
@@ -231,6 +241,8 @@ func forEachChunk(ctx context.Context, done <-chan struct{}, n, workers, grain i
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			workerEnter()
+			defer workerExit()
 			if done == nil {
 				body(lo, hi)
 				return
@@ -302,6 +314,8 @@ func findCtx(ctx context.Context, done <-chan struct{}, n, workers int, pred fun
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			workerEnter()
+			defer workerExit()
 			for ; lo < hi; lo += minParallel {
 				if canceled(done) {
 					return
@@ -384,6 +398,8 @@ func sumInt64(ctx context.Context, done <-chan struct{}, n, workers int, f func(
 		wg.Add(1)
 		go func(slot, lo, hi int) {
 			defer wg.Done()
+			workerEnter()
+			defer workerExit()
 			var s int64
 			for ; lo < hi; lo += minParallel {
 				if canceled(done) {
