@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke fuzz experiments netgen netgen-check
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke serve-smoke fuzz experiments netgen netgen-check
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
-# kernels (see cmd/benchjson defaultGuard).
-BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch
+# kernels and the daemon's end-to-end request legs (see cmd/benchjson
+# defaultGuard).
+BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch|BenchmarkServe
 
 build:
 	$(GO) build ./...
@@ -50,20 +51,22 @@ check-memo:
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
-# bench-json records the full suite (plus the obs hot-path benchmarks)
-# as machine-readable JSON via cmd/benchjson.
+# bench-json records the full suite (plus the obs hot-path and serve
+# end-to-end benchmarks) as machine-readable JSON via cmd/benchjson.
 bench-json:
 	{ $(GO) test -run XXX -bench . -benchmem . ; \
-	  $(GO) test -run XXX -bench . -benchmem ./internal/obs/ ; } \
+	  $(GO) test -run XXX -bench . -benchmem ./internal/obs/ ; \
+	  $(GO) test -run XXX -bench . -benchmem ./internal/serve/ ; } \
 	| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 
-# bench-diff re-runs the guarded SWAR kernel benchmarks and fails if
-# any regressed more than 15% against the committed baseline
-# (BENCH_BASE). ns/op only compares within one machine — run it on the
-# box that recorded the baseline.
+# bench-diff re-runs the guarded benchmarks and fails if any regressed
+# more than 15% against the committed baseline (BENCH_BASE). ns/op only
+# compares within one machine — run it on the box that recorded the
+# baseline.
 bench-diff:
-	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchmem . \
+	{ $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchmem . ; \
+	  $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchmem ./internal/serve/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_BASE) /tmp/bench_head.json
 
@@ -73,9 +76,11 @@ bench-diff:
 # tooling honest in CI, where comparing against a snapshot recorded on
 # different hardware would be meaningless.
 bench-smoke:
-	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . \
+	{ $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . ; \
+	  $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s ./internal/serve/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_a.json
-	$(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . \
+	{ $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s . ; \
+	  $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s ./internal/serve/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_b.json
 	$(GO) run ./cmd/benchjson -diff -threshold 0.5 /tmp/bench_smoke_a.json /tmp/bench_smoke_b.json
 
@@ -89,6 +94,25 @@ obs-smoke:
 	$(GO) run ./cmd/adversary -optimal -n 16 -blocks 2 -topology random -seed 3 \
 		-progress -progress-interval 100ms -journal /tmp/obs_smoke.jsonl 2>/dev/null
 	$(GO) run ./cmd/obsreport -require-heartbeats /tmp/obs_smoke.jsonl
+
+# serve-smoke drives the daemon end to end: start shufflenetd with a
+# per-request journal, fire a short loadgen burst across every endpoint
+# (loadgen itself fails on any non-200), SIGTERM the daemon, and
+# require a clean drain (exit 0) plus both per-request records and the
+# final run entry in the journal.
+serve-smoke:
+	rm -f /tmp/serve_smoke.jsonl
+	$(GO) build -o /tmp/shufflenetd ./cmd/shufflenetd
+	$(GO) build -o /tmp/loadgen ./cmd/loadgen
+	/tmp/shufflenetd -addr 127.0.0.1:18451 -journal /tmp/serve_smoke.jsonl & \
+	pid=$$!; \
+	/tmp/loadgen -addr http://127.0.0.1:18451 -duration 3s -concurrency 4 \
+		-max-errors 0 -json || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: daemon exited non-zero"; exit 1; }
+	grep -q '"type":"request"' /tmp/serve_smoke.jsonl
+	grep -q '"cmd":"shufflenetd"' /tmp/serve_smoke.jsonl
+	@echo "serve-smoke: ok ($$(grep -c '"type":"request"' /tmp/serve_smoke.jsonl) requests journaled)"
 
 # Short fuzz pass over the parsers / compiled-kernel round trip and the
 # Sort dispatcher vs slices.Sort differential.

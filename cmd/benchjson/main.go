@@ -65,10 +65,11 @@ type Doc struct {
 
 // defaultGuard protects the perf-critical kernels: the bit-sliced
 // (SWAR) 0-1 evaluation kernels — a regression there slows every
-// exhaustive sorting check in the repo — and the generated sorting
+// exhaustive sorting check in the repo — the generated sorting
 // kernels plus their shufflenet.Sort dispatch path, the library's
-// user-facing fast path (PR 6).
-const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/`
+// user-facing fast path (PR 6), and the daemon's end-to-end request
+// legs — the coalesced probe and warm-memo optimum paths (PR 8).
+const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/|BenchmarkServe`
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")

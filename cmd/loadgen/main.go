@@ -1,0 +1,290 @@
+// Command loadgen drives a running shufflenetd with a weighted mix of
+// requests and reports latency percentiles and throughput — the
+// harness behind the EXPERIMENTS.md load tables and `make serve-smoke`.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-duration 10s]
+//	        [-concurrency 8] [-mix check=2,probe=8,halver=1,optimal=2,adversary=1]
+//	        [-n 16] [-opt-n 10] [-probes 4] [-seed 1] [-json]
+//
+// loadgen first polls /healthz until the daemon answers (up to 10 s),
+// then runs -concurrency workers for -duration, each issuing requests
+// drawn from the -mix weights:
+//
+//	check      full 0-1 verdict on an n-wire bitonic sorter
+//	probe      /v1/check with -probes random input masks (exercises the
+//	           SWAR coalescer: concurrent probes of one network share words)
+//	halver     exact ε of the sorter's first half-cleaner stage
+//	opt        exact optimum on an opt-n-wire network (shared-memo warm path)
+//	adversary  Theorem 4.1 certificate on an n-wire butterfly RDN
+//
+// Results go to stdout as a per-endpoint table (count, errors, p50,
+// p90, p99, max) plus overall throughput, or as one JSON object with
+// -json for machine harvesting.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"shufflenet/internal/bits"
+	"shufflenet/internal/delta"
+	"shufflenet/internal/netbuild"
+	"shufflenet/internal/network"
+)
+
+type reqKind struct {
+	name string
+	body func(rng *rand.Rand) []byte
+	path string
+}
+
+type stat struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    int
+	statuses  map[int]int
+}
+
+func (s *stat) record(d time.Duration, status int, ok bool) {
+	s.mu.Lock()
+	s.latencies = append(s.latencies, d)
+	if !ok {
+		s.errors++
+	}
+	if s.statuses == nil {
+		s.statuses = map[int]int{}
+	}
+	s.statuses[status]++
+	s.mu.Unlock()
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the daemon")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := flag.Int("concurrency", 8, "concurrent request workers")
+	mix := flag.String("mix", "check=2,probe=8,halver=1,optimal=2,adversary=1", "weighted endpoint mix")
+	n := flag.Int("n", 16, "wire count of the generated check/halver/adversary networks (power of two)")
+	optN := flag.Int("opt-n", 10, "wire count of the /v1/optimal network")
+	probes := flag.Int("probes", 4, "input masks per probe request")
+	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit one JSON result object instead of the table")
+	maxErrors := flag.Int("max-errors", -1, "exit 1 when more than this many requests fail (-1 = report only); the serve-smoke gate runs with 0")
+	flag.Parse()
+
+	if !bits.IsPow2(*n) {
+		fmt.Fprintln(os.Stderr, "loadgen: -n must be a power of two")
+		os.Exit(1)
+	}
+
+	// Pre-serialize the payload networks once; workers only draw masks.
+	sorter := netText(netbuild.Bitonic(*n))
+	halverNet := netText(netbuild.HalfCleaner(*n))
+	optNet := netText(netbuild.OddEvenTransposition(*optN))
+	it := delta.NewIterated(*n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(*n)))
+	rdnCirc, _ := it.ToNetwork()
+	rdn := netText(rdnCirc)
+
+	mask := uint64(1)<<uint(*n) - 1
+	if *n >= 64 {
+		mask = ^uint64(0)
+	}
+	kinds := map[string]reqKind{
+		"check": {name: "check", path: "/v1/check", body: func(*rand.Rand) []byte {
+			return marshal(map[string]any{"network": sorter})
+		}},
+		"probe": {name: "probe", path: "/v1/check", body: func(rng *rand.Rand) []byte {
+			ms := make([]uint64, *probes)
+			for i := range ms {
+				ms[i] = rng.Uint64() & mask
+			}
+			return marshal(map[string]any{"network": sorter, "inputs": ms})
+		}},
+		"halver": {name: "halver", path: "/v1/halver", body: func(*rand.Rand) []byte {
+			return marshal(map[string]any{"network": halverNet})
+		}},
+		"optimal": {name: "optimal", path: "/v1/optimal", body: func(*rand.Rand) []byte {
+			return marshal(map[string]any{"network": optNet, "nocache": true})
+		}},
+		"adversary": {name: "adversary", path: "/v1/adversary", body: func(*rand.Rand) []byte {
+			return marshal(map[string]any{"network": rdn})
+		}},
+	}
+
+	// Expand the weighted mix into a pick table.
+	var picks []reqKind
+	for _, part := range strings.Split(*mix, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -mix entry %q\n", part)
+			os.Exit(1)
+		}
+		k, ok := kinds[kv[0]]
+		w, err := strconv.Atoi(kv[1])
+		if !ok || err != nil || w < 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -mix entry %q\n", part)
+			os.Exit(1)
+		}
+		for i := 0; i < w; i++ {
+			picks = append(picks, k)
+		}
+	}
+	if len(picks) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: empty -mix")
+		os.Exit(1)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	if !waitHealthy(client, *addr, 10*time.Second) {
+		fmt.Fprintf(os.Stderr, "loadgen: %s/healthz not answering\n", *addr)
+		os.Exit(1)
+	}
+
+	stats := map[string]*stat{}
+	for name := range kinds {
+		stats[name] = &stat{}
+	}
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for time.Now().Before(deadline) {
+				k := picks[rng.Intn(len(picks))]
+				start := time.Now()
+				status, ok := post(client, *addr+k.path, k.body(rng))
+				stats[k.name].record(time.Since(start), status, ok)
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	totalErrs := report(stats, elapsed, *jsonOut)
+	if *maxErrors >= 0 && totalErrs > *maxErrors {
+		fmt.Fprintf(os.Stderr, "loadgen: %d failed requests exceeds -max-errors %d\n", totalErrs, *maxErrors)
+		os.Exit(1)
+	}
+}
+
+func netText(c *network.Network) string {
+	var b bytes.Buffer
+	if err := c.WriteText(&b); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func post(client *http.Client, url string, body []byte) (status int, ok bool) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.StatusCode == http.StatusOK
+}
+
+func waitHealthy(client *http.Client, addr string, within time.Duration) bool {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
+type endpointResult struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int     `json:"count"`
+	Errors   int     `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+func report(stats map[string]*stat, elapsed time.Duration, jsonOut bool) (totalErrs int) {
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	var rows []endpointResult
+	total := 0
+	for _, name := range names {
+		st := stats[name]
+		if len(st.latencies) == 0 {
+			continue
+		}
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		rows = append(rows, endpointResult{
+			Endpoint: name, Count: len(st.latencies), Errors: st.errors,
+			P50MS: ms(pct(st.latencies, 0.50)),
+			P90MS: ms(pct(st.latencies, 0.90)),
+			P99MS: ms(pct(st.latencies, 0.99)),
+			MaxMS: ms(st.latencies[len(st.latencies)-1]),
+		})
+		total += len(st.latencies)
+		totalErrs += st.errors
+	}
+	rps := float64(total) / elapsed.Seconds()
+
+	if jsonOut {
+		out := map[string]any{
+			"elapsed_s": elapsed.Seconds(), "requests": total,
+			"errors": totalErrs, "rps": rps, "endpoints": rows,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(out)
+		return
+	}
+	fmt.Printf("%-10s %8s %7s %9s %9s %9s %9s\n", "endpoint", "count", "errors", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8d %7d %9.2f %9.2f %9.2f %9.2f\n",
+			r.Endpoint, r.Count, r.Errors, r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	}
+	fmt.Printf("total: %d requests (%d errors) in %v — %.0f req/s\n", total, totalErrs, elapsed.Round(time.Millisecond), rps)
+	return totalErrs
+}

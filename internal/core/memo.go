@@ -56,6 +56,17 @@ const (
 	// when the caller does not supply a Memo; memoAutoBytes shrinks it
 	// for small n, where the whole state space is far smaller.
 	DefaultMemoBytes = 256 << 20
+
+	// MinMemoBytes is the smallest budget NewMemo will honor: requests
+	// below it (including zero and negative values, which reach us
+	// unvalidated from server flags and environment variables) are
+	// clamped up to it. The floor guarantees every shard gets at least
+	// a handful of buckets — a zero- or negative-budget request must
+	// degrade to a small-but-working table, never to a zero-slot one.
+	// (Before the clamp, a negative budget sign-flipped through the
+	// uint64 conversion in the bucket-count sizing loop and NewMemo
+	// spun forever.)
+	MinMemoBytes = 1 << 14
 )
 
 var (
@@ -68,9 +79,14 @@ var (
 )
 
 // NewMemo allocates a table of at most the given byte budget (rounded
-// down to a power-of-two bucket count per shard; minimum one bucket
-// per shard, ~3 KiB total).
+// down to a power-of-two bucket count per shard). Budgets below
+// MinMemoBytes — including zero and negative values — are clamped up
+// to it, so a degenerate server flag or env value yields a small
+// working table instead of a degenerate one.
 func NewMemo(bytes int64) *Memo {
+	if bytes < MinMemoBytes {
+		bytes = MinMemoBytes
+	}
 	perShard := bytes / (2 * memoEntryCost) / memoShardN
 	pow := uint64(1)
 	for pow*2 <= uint64(perShard) {
@@ -98,8 +114,8 @@ func memoAutoBytes(n int) int64 {
 			return DefaultMemoBytes
 		}
 	}
-	if b < 1<<14 {
-		b = 1 << 14
+	if b < MinMemoBytes {
+		b = MinMemoBytes
 	}
 	return b
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"shufflenet/internal/pattern"
 )
@@ -104,10 +106,111 @@ func TestOptimalMemoModesMatchOracle(t *testing.T) {
 	}
 }
 
+// TestNewMemoDegenerateBudgets: budgets below MinMemoBytes — including
+// the zero and negative values a server flag or env var can produce —
+// must clamp to a small working table, never hang (a negative budget
+// used to sign-flip through a uint64 conversion and spin the sizing
+// loop forever) and never yield a zero-slot table.
+func TestNewMemoDegenerateBudgets(t *testing.T) {
+	cases := []struct {
+		name  string
+		bytes int64
+	}{
+		{"negative-large", -(1 << 40)},
+		{"negative-one", -1},
+		{"zero", 0},
+		{"one", 1},
+		{"just-below-min", MinMemoBytes - 1},
+		{"exactly-min", MinMemoBytes},
+		{"modest", 1 << 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan *Memo, 1)
+			go func() { done <- NewMemo(tc.bytes) }() // guard against the historical hang
+			var m *Memo
+			select {
+			case m = <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("NewMemo(%d) hung", tc.bytes)
+			}
+			st := m.Stats()
+			if st.Capacity <= 0 {
+				t.Fatalf("NewMemo(%d): capacity %d, want > 0", tc.bytes, st.Capacity)
+			}
+			if st.Bytes < MinMemoBytes/2 {
+				// The budget rounds down to a power-of-two bucket count,
+				// so the realized size may sit below MinMemoBytes — but
+				// never below half of it.
+				t.Fatalf("NewMemo(%d): realized %d bytes, below the documented floor", tc.bytes, st.Bytes)
+			}
+			if tc.bytes > 0 && tc.bytes >= MinMemoBytes && st.Bytes > tc.bytes {
+				t.Fatalf("NewMemo(%d): realized %d bytes exceeds the budget", tc.bytes, st.Bytes)
+			}
+			// The table must actually work.
+			var ms memoStats
+			m.store(3, 4, 2, 5, &ms)
+			if ub, ok := m.probe(3, 4, 2, &ms); !ok || ub != 5 {
+				t.Fatalf("NewMemo(%d): store/probe round trip failed (%d,%v)", tc.bytes, ub, ok)
+			}
+		})
+	}
+}
+
+// TestMemoConcurrentHammer: one minimum-size memo shared by many
+// goroutines doing interleaved probe/store/flush/Stats — the daemon's
+// cross-request sharing pattern. Run under -race this proves the
+// lock-striping and the stats flushing are race-clean; functionally it
+// checks that flushed counters balance and a store the goroutine just
+// made is immediately visible to its own probe.
+func TestMemoConcurrentHammer(t *testing.T) {
+	m := NewMemo(0) // minimum-size table: maximal contention and eviction
+	const (
+		workers = 16
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var st memoStats
+			for i := 0; i < rounds; i++ {
+				h1 := uint64(g)<<32 ^ uint64(i)*0x9e3779b97f4a7c15
+				h2 := h1 ^ 0xdeadbeef
+				step := i % 30
+				ub := uint8(i % 20)
+				m.store(h1, h2, step, ub, &st)
+				if got, ok := m.probe(h1, h2, step, &st); ok && got > ub {
+					t.Errorf("probe returned %d, looser than the %d just stored", got, ub)
+					return
+				}
+				m.probe(h1^1, h2, step, &st) // mostly a miss
+				if i%64 == 0 {
+					m.flush(&st)
+					m.Stats()
+				}
+			}
+			m.flush(&st)
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Stores == 0 || st.Misses == 0 {
+		t.Fatalf("hammer produced no traffic: %+v", st)
+	}
+	if st.Entries < 0 || st.Entries > st.Capacity {
+		t.Fatalf("entries %d out of range [0,%d]", st.Entries, st.Capacity)
+	}
+	if st.Stores > int64(workers*rounds) {
+		t.Fatalf("stores %d exceed the %d store calls made", st.Stores, workers*rounds)
+	}
+}
+
 // A tiny table forces constant eviction; the answer must not change.
 func TestOptimalMemoTinyTableEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(46))
-	tiny := NewMemo(1) // minimum size: one bucket per shard
+	tiny := NewMemo(1) // clamped up to MinMemoBytes: the smallest legal table
 	for ci, c := range testCircuits(10, rng) {
 		wantSize, wantP, _ := bruteOptimalNoncolliding(c)
 		s, p, _, err := OptimalNoncollidingOpt(context.Background(), c, OptimalOptions{Workers: 4, Memo: tiny})

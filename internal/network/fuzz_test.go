@@ -14,6 +14,10 @@ func FuzzReadText(f *testing.F) {
 	f.Add("# comment\nwires 8\nlevel 0:7\n")
 	f.Add("wires 1\n")
 	f.Add("wires 4\nlevel 3:0\n")
+	f.Add("wires 4\r\nlevel 0:1 2:3\r\nlevel 1:2\r\n") // CRLF (HTTP clients)
+	f.Add("wires 4\rlevel 0:1\r")                      // lone CR
+	f.Add("wires 4 \nlevel 0:1 2:3\t\n")               // trailing whitespace
+	f.Add("wires 4\r\n\r\nlevel 0:1\r\n")              // blank CRLF lines
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ReadText(strings.NewReader(src))
 		if err != nil {
@@ -41,6 +45,9 @@ func FuzzReadRegisterText(f *testing.F) {
 	f.Add("registers 4\nstep ++ pi shuffle\nstep .\n")
 	f.Add("registers 2\nstep 1\n")
 	f.Add("registers 4\nstep 0- pi 3 2 1 0\n")
+	f.Add("registers 4\r\nstep ++ pi shuffle\r\nstep .\r\n") // CRLF
+	f.Add("registers 4\rstep ++\r")                          // lone CR
+	f.Add("registers 4  \nstep ++ pi 3 2 1 0 \n")            // trailing whitespace
 	f.Fuzz(func(t *testing.T, src string) {
 		r, err := ReadRegisterText(strings.NewReader(src))
 		if err != nil {
@@ -68,6 +75,43 @@ func FuzzReadRegisterText(f *testing.F) {
 			if a[i] != b[i] {
 				t.Fatal("round trip changed behaviour")
 			}
+		}
+	})
+}
+
+// FuzzReadDOT: the DOT parser must never panic, and anything it
+// accepts must be a valid network that survives a DOT write/read round
+// trip.
+func FuzzReadDOT(f *testing.F) {
+	seed := func(c *Network) {
+		var buf bytes.Buffer
+		if err := c.WriteDOT(&buf, "seed"); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	seed(New(4).AddComparators(0, 1, 2, 3).AddComparators(1, 2))
+	seed(New(2))
+	seed(New(8).AddLevel(nil).AddComparators(7, 0))
+	f.Add("digraph \"x\" {\r\n w0_0; w1_0; w0_1; w1_1;\r\n w1_1 -> w0_1 [constraint=false];\r\n}\r\n")
+	f.Add("digraph \"x\" {\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ReadDOT(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid network: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteDOT(&buf, "rt"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDOT(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if !c.Equal(back) {
+			t.Fatal("round trip changed the network")
 		}
 	})
 }

@@ -61,9 +61,10 @@ func (r *Register) WriteText(w io.Writer) error {
 }
 
 // ReadRegisterText parses the format written by Register.WriteText.
+// Lines may end in "\n", "\r\n", or a lone "\r", and may carry trailing
+// whitespace; parse errors report 1-based line numbers.
 func ReadRegisterText(rd io.Reader) (*Register, error) {
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc := newLineScanner(rd)
 	var reg *Register
 	lineNo := 0
 	for sc.Scan() {

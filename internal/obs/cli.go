@@ -75,6 +75,16 @@ func StartCLI(cmd, journalPath string, metrics bool, pprofAddr string) (*CLIRun,
 // Journaling reports whether a journal file is attached.
 func (r *CLIRun) Journaling() bool { return r != nil && r.journal != nil }
 
+// Journal exposes the run's journal (nil when none is attached) so
+// long-lived processes can interleave their own records — the daemon's
+// per-request lines — with the run entry and progress heartbeats.
+func (r *CLIRun) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal
+}
+
 // StartProgress begins live telemetry for the run: a status line on
 // stderr, heartbeat records in the journal (when -journal is given, so
 // killed runs leave a trace trail), and /debug/progress + the
@@ -209,18 +219,25 @@ func (r *CLIRun) finish(dumpMetrics bool) {
 	}
 }
 
-// ServeDebug starts an HTTP server on addr exposing the default mux:
-// /debug/pprof (imported above) and /debug/vars (expvar, which every
-// published registry feeds). The listener is created synchronously so
-// bad addresses fail fast and returned so callers can close it on
-// every exit path; serving happens in a background goroutine.
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof and
+// /debug/vars (via the default mux, where the pprof and expvar imports
+// register themselves) plus /debug/progress (mounted explicitly on a
+// per-server wrapper mux — see ProgressHandler; nothing of ours touches
+// http.DefaultServeMux, so a daemon owning its own mux can coexist with
+// a -pprof debug server in one process). The listener is created
+// synchronously so bad addresses fail fast and returned so callers can
+// close it on every exit path; serving happens in a background
+// goroutine.
 func ServeDebug(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/progress", ProgressHandler())
+	mux.Handle("/", http.DefaultServeMux)
 	go func() {
-		if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
 			fmt.Fprintf(os.Stderr, "obs: debug server: %v\n", err)
 		}
 	}()

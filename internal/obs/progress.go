@@ -230,7 +230,7 @@ func (p *Progress) Start() {
 	p.prevT = p.start
 	p.emitMu.Unlock()
 	p.stop = make(chan struct{})
-	registerProgressDebug()
+	publishProgressExpvar()
 	progressTrack(p, true)
 	p.wg.Add(1)
 	go func() {
@@ -567,16 +567,27 @@ func progressSamples() []*Sample {
 	return out
 }
 
-// registerProgressDebug publishes the live samples on the default mux
-// (/debug/progress, next to /debug/pprof and /debug/vars served by the
-// CLIs' -pprof flag) and as the "shufflenet.progress" expvar. At most
-// once per process.
-func registerProgressDebug() {
+// ProgressHandler returns the /debug/progress handler: the latest
+// sample of every active engine as indented JSON. The handler is a
+// plain value the caller mounts on a mux of its choosing — nothing is
+// ever registered on http.DefaultServeMux, so any number of Progress
+// engines and any number of HTTP servers can coexist in one process
+// (the old global http.HandleFunc registration leaked the route onto
+// whatever server used the default mux, and a second registration
+// would have been a duplicate-pattern panic). ServeDebug mounts it for
+// the CLIs' -pprof flag; a daemon mounts it on its own mux.
+func ProgressHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONIndent(w, progressSamples())
+	})
+}
+
+// publishProgressExpvar publishes the live samples as the
+// "shufflenet.progress" expvar. At most once per process — the expvar
+// namespace is global by design, so this stays Once-guarded.
+func publishProgressExpvar() {
 	progOnce.Do(func() {
-		http.HandleFunc("/debug/progress", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			writeJSONIndent(w, progressSamples())
-		})
 		expvar.Publish("shufflenet.progress", expvar.Func(func() any { return progressSamples() }))
 	})
 }

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -287,5 +289,55 @@ func BenchmarkProgressDisabled(b *testing.B) {
 		if p.Enabled() {
 			b.Fatal("unreachable")
 		}
+	}
+}
+
+// TestStartProgressTwiceSameProcess is the server-readiness regression
+// test: two Progress engines started in one process, each mounted on
+// its own mux, must not touch http.DefaultServeMux and must not panic.
+// The old code registered /debug/progress on the default mux at the
+// first Start — the handler leaked onto every server using the default
+// mux, and an unguarded second registration is a duplicate-pattern
+// panic in net/http. Now the handler is a value (ProgressHandler) the
+// caller mounts wherever it wants, any number of times.
+func TestStartProgressTwiceSameProcess(t *testing.T) {
+	p1 := NewProgress("first", "r1", time.Hour)
+	p1.Start()
+	defer p1.Stop()
+	p2 := NewProgress("second", "r2", time.Hour) // would have re-registered
+	p2.Start()
+	defer p2.Stop()
+	p1.Emit()
+	p2.Emit()
+
+	// Each server owns its mux; both can mount the handler.
+	for i := 0; i < 2; i++ {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/progress", ProgressHandler())
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/progress", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("mux %d: /debug/progress status %d", i, rec.Code)
+		}
+		var samples []Sample
+		if err := json.Unmarshal(rec.Body.Bytes(), &samples); err != nil {
+			t.Fatalf("mux %d: bad JSON: %v", i, err)
+		}
+		cmds := map[string]bool{}
+		for _, s := range samples {
+			cmds[s.Cmd] = true
+		}
+		if !cmds["first"] || !cmds["second"] {
+			t.Fatalf("mux %d: want samples from both engines, got %v", i, cmds)
+		}
+	}
+
+	// The default mux must not have grown a /debug/progress route: a
+	// request against it may hit pprof's catch-all or 404, but never
+	// our JSON sample payload.
+	rec := httptest.NewRecorder()
+	http.DefaultServeMux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/progress", nil))
+	if ct := rec.Header().Get("Content-Type"); ct == "application/json" {
+		t.Fatalf("/debug/progress leaked onto http.DefaultServeMux (Content-Type %q)", ct)
 	}
 }

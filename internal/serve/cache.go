@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
+)
+
+var (
+	metCacheHits   = obs.C("serve.cache.hits")
+	metCacheMisses = obs.C("serve.cache.misses")
+	metCacheEvicts = obs.C("serve.cache.evictions")
+)
+
+// canonicalKey content-addresses a network: the SHA-256 of its
+// canonical text form (each level sorted by CanonicalLevel, so two
+// submissions that list a level's comparators in different orders — or
+// arrive in different serialization formats — share one key). Responses
+// and certificates are cached under this key, which is also why two
+// clients submitting the same circuit warm each other's caches.
+func canonicalKey(c *network.Network) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "wires %d\n", c.Wires())
+	for _, lv := range c.Levels() {
+		sb.WriteString("level")
+		for _, cm := range network.CanonicalLevel(lv) {
+			fmt.Fprintf(&sb, " %d:%d", cm.Min, cm.Max)
+		}
+		sb.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// respCache is a bounded FIFO map from request keys to marshaled
+// response bodies. FIFO (not LRU) keeps eviction O(1) with no
+// per-get bookkeeping; the daemon's working set is "the handful of
+// circuits under study", far below any reasonable bound, so the
+// replacement policy is not load-bearing. Storing the marshaled bytes
+// rather than the response struct is what makes the warm-vs-cold
+// determinism guarantee trivially auditable: a cache hit is the
+// byte-identical body of the miss that filled it.
+type respCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string][]byte
+	order []string
+}
+
+func newRespCache(max int) *respCache {
+	if max < 1 {
+		max = 1
+	}
+	return &respCache{max: max, m: make(map[string][]byte, max)}
+}
+
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	if ok {
+		metCacheHits.Inc()
+	} else {
+		metCacheMisses.Inc()
+	}
+	return b, ok
+}
+
+func (c *respCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		c.m[key] = body
+		return
+	}
+	if len(c.order) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+		metCacheEvicts.Inc()
+	}
+	c.m[key] = body
+	c.order = append(c.order, key)
+}
