@@ -1,18 +1,19 @@
 GO ?= go
 
-.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke serve-smoke fuzz experiments netgen netgen-check
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke serve-smoke resume-smoke coord-smoke fuzz experiments netgen netgen-check
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR8.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
-# kernels and the daemon's end-to-end request legs (see cmd/benchjson
-# defaultGuard).
-BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch|BenchmarkServe
+# kernels, the daemon's end-to-end request legs, and the durable
+# optimum-search paths — spill table and checkpoint/resume (see
+# cmd/benchjson defaultGuard).
+BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch|BenchmarkServe|MemoSpill|OptimalResume
 
 build:
 	$(GO) build ./...
@@ -30,13 +31,15 @@ race:
 # mode, and the tier-1 build+test pass.
 check: vet race build test
 
-# check-ctx stresses the cancellation paths: the ctx-aware par/core/
-# sortcheck/halver entry points and the CLI -timeout flows, under the
-# race detector, twice (cancellation is inherently racy — a second run
-# shifts the interleavings).
+# check-ctx stresses the cancellation and durability paths: the
+# ctx-aware par/core/sortcheck/halver entry points, the CLI -timeout
+# flows, and the kill/resume + spill + coordinator machinery (SIGKILL
+# mid-frontier is the adversarial interleaving those paths must
+# survive), under the race detector, twice (cancellation is inherently
+# racy — a second run shifts the interleavings).
 check-ctx:
-	$(GO) test -race -count=2 -timeout 5m -run 'Ctx|Cancel|Canceled|Timeout' \
-		./internal/par ./internal/core ./internal/sortcheck ./internal/halver .
+	$(GO) test -race -count=2 -timeout 10m -run 'Ctx|Cancel|Canceled|Timeout|Resume|Spill|Coord' \
+		./internal/par ./internal/core ./internal/sortcheck ./internal/halver ./internal/coord .
 
 # check-memo is the memo-differential gate: the optimum search with
 # the transposition table on, off, shared between searches, and under
@@ -113,6 +116,41 @@ serve-smoke:
 	grep -q '"type":"request"' /tmp/serve_smoke.jsonl
 	grep -q '"cmd":"shufflenetd"' /tmp/serve_smoke.jsonl
 	@echo "serve-smoke: ok ($$(grep -c '"type":"request"' /tmp/serve_smoke.jsonl) requests journaled)"
+
+# resume-smoke drives the checkpoint/resume path end to end with real
+# processes: a checkpointing optimum search writes its frontier to the
+# journal, a second run resumes from it (the whole 81-prefix frontier
+# is already done, so every prefix is skipped and the seeded incumbent
+# carries the result), and cmd/obsreport must parse the journal and
+# render the resume summary.
+resume-smoke:
+	rm -f /tmp/resume_smoke.jsonl
+	$(GO) run ./cmd/adversary -optimal -n 16 -blocks 2 -topology random -seed 3 \
+		-journal /tmp/resume_smoke.jsonl
+	$(GO) run ./cmd/adversary -optimal -n 16 -blocks 2 -topology random -seed 3 \
+		-journal /tmp/resume_smoke.jsonl -resume /tmp/resume_smoke.jsonl \
+		> /tmp/resume_smoke_out.txt
+	grep -q '81/81 prefixes skipped' /tmp/resume_smoke_out.txt
+	$(GO) run ./cmd/obsreport /tmp/resume_smoke.jsonl > /tmp/resume_smoke_report.txt
+	grep -q 'resumed from seq' /tmp/resume_smoke_report.txt
+	@echo "resume-smoke: ok"
+
+# coord-smoke drives the distributed search end to end: an optcoord
+# coordinator serves a random circuit, one adversary worker process
+# joins over HTTP, works the leased frontier chunks, and the
+# coordinator must verify the merged witness against the circuit.
+coord-smoke:
+	$(GO) build -o /tmp/optcoord ./cmd/optcoord
+	$(GO) build -o /tmp/sn_adversary ./cmd/adversary
+	$(GO) run ./cmd/snet -net random -n 16 -depth 8 -seed 3 -op text > /tmp/coord_smoke_net.txt
+	/tmp/optcoord -file /tmp/coord_smoke_net.txt -addr 127.0.0.1:18452 -linger 2s \
+		> /tmp/coord_smoke_out.txt & \
+	pid=$$!; \
+	sleep 1; \
+	/tmp/sn_adversary -optimal -coord http://127.0.0.1:18452 || { kill $$pid; exit 1; }; \
+	wait $$pid || { echo "coord-smoke: coordinator exited non-zero"; exit 1; }
+	grep -q 'witness verified against the circuit' /tmp/coord_smoke_out.txt
+	@echo "coord-smoke: ok"
 
 # Short fuzz pass over the parsers / compiled-kernel round trip and the
 # Sort dispatcher vs slices.Sort differential.

@@ -13,10 +13,12 @@ package shufflenet_test
 import (
 	"context"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"shufflenet/internal/benes"
 	"shufflenet/internal/bits"
+	"shufflenet/internal/coord"
 	"shufflenet/internal/core"
 	"shufflenet/internal/delta"
 	"shufflenet/internal/experiments"
@@ -24,6 +26,7 @@ import (
 	"shufflenet/internal/machine"
 	"shufflenet/internal/netbuild"
 	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
 	"shufflenet/internal/pattern"
 	"shufflenet/internal/perm"
 	"shufflenet/internal/randnet"
@@ -436,6 +439,125 @@ func BenchmarkZeroOneScalarVsBits(b *testing.B) {
 			sortcheck.ZeroOneFractionScalar(n, c, 0)
 		}
 		reportInputsPerSec(b, 1<<n)
+	})
+}
+
+// BenchmarkMemoSpill measures the spill-backed transposition table on
+// the warm n=16 dense-random optimum search (PR 9) — the trivial
+// automorphism group means real table pressure, unlike the butterfly,
+// whose canonicalized state space fits any table. Three legs: an
+// eviction-bound RAM table at the floor budget as the baseline, the
+// same squeezed RAM tier backed by the mmap'd disk tier (evictions
+// become demotions; probes that miss RAM hit disk), and the cost of
+// reopening a populated spill file warm (header validation plus the
+// mapping — what a resumed run pays at startup).
+func BenchmarkMemoSpill(b *testing.B) {
+	const n = 16
+	circ := randnet.Levels(n, 8, rand.New(rand.NewSource(9)))
+	ctx := context.Background()
+	search := func(b *testing.B, m *core.Memo) {
+		if _, err := core.OptimalNoncollidingPacked(ctx, circ, core.OptimalOptions{Workers: 1, Memo: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("ram", func(b *testing.B) {
+		m := core.NewMemo(core.MinMemoBytes)
+		search(b, m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			search(b, m)
+		}
+	})
+	b.Run("spill", func(b *testing.B) {
+		m, _, err := core.OpenSpillMemo(filepath.Join(b.TempDir(), "m.spill"), core.MinMemoBytes, 32<<20, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		search(b, m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			search(b, m)
+		}
+		b.StopTimer()
+		st := m.Stats()
+		b.ReportMetric(float64(st.DiskHits)/float64(b.N), "diskhits/op")
+		b.ReportMetric(float64(st.Demotions)/float64(b.N), "demotions/op")
+	})
+	b.Run("reopen-warm", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "m.spill")
+		m, _, err := core.OpenSpillMemo(path, core.MinMemoBytes, 32<<20, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		search(b, m)
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, warm, err := core.OpenSpillMemo(path, core.MinMemoBytes, 32<<20, "bench")
+			if err != nil || !warm {
+				b.Fatalf("reopen: warm=%v err=%v", warm, err)
+			}
+			m.Close()
+		}
+	})
+}
+
+// BenchmarkOptimalResume measures the resumable-search machinery on
+// the warm n=16 butterfly instance (PR 9): the plain search as the
+// baseline, the same search journaling one frontier checkpoint per
+// retired prefix (the durability overhead a -journal run pays), and a
+// resume whose checkpoint already covers the whole frontier — the
+// skip fast path: walk 81 skipped prefixes and return the seeded
+// incumbent.
+func BenchmarkOptimalResume(b *testing.B) {
+	const n = 16
+	it := delta.NewIterated(n)
+	it.AddBlock(nil, delta.Butterfly(bits.Lg(n)))
+	circ, _ := it.ToNetwork()
+	ctx := context.Background()
+	memo := core.NewMemo(32 << 20)
+	base := core.OptimalOptions{Workers: 1, Memo: memo}
+	packed, err := core.OptimalNoncollidingPacked(ctx, circ, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OptimalNoncollidingPacked(ctx, circ, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		j, err := obs.OpenJournal(filepath.Join(b.TempDir(), "bench.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		fw := coord.NewFrontierWriter(j, "bench")
+		opt := base
+		opt.OnPrefixDone = func(p int, inc uint64) { _ = fw.PrefixDone(p, inc) }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OptimalNoncollidingPacked(ctx, circ, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("skip-all", func(b *testing.B) {
+		opt := base
+		opt.SkipPrefix = func(int) bool { return true }
+		opt.SeedIncumbent = packed
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := core.OptimalNoncollidingPacked(ctx, circ, opt)
+			if err != nil || got != packed {
+				b.Fatalf("skip-all returned %d, want the seed %d (err %v)", got, packed, err)
+			}
+		}
 	})
 }
 

@@ -29,7 +29,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"snet", "adversary", "experiments"} {
+		for _, tool := range []string{"snet", "adversary", "experiments", "optcoord"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err

@@ -13,6 +13,8 @@
 //	adversary -file net.txt [-l L] [-save cert.json]
 //	adversary -check cert.json -file net.txt
 //	adversary -optimal [-memo BYTES|auto|off] [-n 16 ... | -file net.txt]
+//	          [-spill table.spill [-spill-bytes N]] [-resume run.jsonl]
+//	          [-coord URL]
 //
 // Topologies:
 //
@@ -30,10 +32,28 @@
 // branch-and-bound optimum search (core.OptimalNoncollidingOpt): the
 // largest noncolliding [M_0]-set any pattern admits on the circuit,
 // the quantity the A2/A3 experiments compare the adversary against.
-// It handles any circuit of at most core.MaxOptimalWires = 24 wires
+// It handles any circuit of at most core.MaxOptimalWires = 26 wires
 // (with -file, no power-of-two or RDN-structure requirement). -memo
 // sizes its transposition table; the table's final hit/miss/eviction
 // counters are printed and journaled.
+//
+// Durability and distribution of -optimal:
+//
+//   - -spill attaches a disk tier to the transposition table
+//     (core.OpenSpillMemo): RAM evictions demote to the mmap'd file
+//     instead of being dropped, and an existing file reopens warm, so
+//     a later run starts with the previous run's bounds. -spill-bytes
+//     sizes the file (min 64 KiB; the stored geometry wins on reopen).
+//   - With -journal, the search checkpoints its 81-prefix frontier as
+//     typed records (frontier_init / prefix_done) in the same JSONL
+//     stream. -resume reads such a journal, skips the prefixes any
+//     prior run completed, seeds the recorded incumbent, and returns
+//     the byte-identical witness the uninterrupted run would have —
+//     see DESIGN.md §4, decision 14 for why that is exact.
+//   - -coord joins a cmd/optcoord coordinator as a worker process:
+//     the circuit comes from the coordinator (no -n/-file needed),
+//     leased frontier chunks are searched with this process's table,
+//     and packed results are reported back for the max-merge.
 //
 // With -file, the circuit is loaded from the text serialization
 // (network.WriteText format), its iterated reverse delta structure is
@@ -69,9 +89,11 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"shufflenet/internal/bits"
+	"shufflenet/internal/coord"
 	"shufflenet/internal/core"
 	"shufflenet/internal/delta"
 	"shufflenet/internal/network"
@@ -96,8 +118,12 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /debug/progress on this address")
 	progress := flag.Bool("progress", false, "emit live progress: stderr status line, plus journal heartbeats when -journal is set")
 	progressIvl := flag.Duration("progress-interval", time.Second, "cadence of -progress snapshots")
-	optimal := flag.Bool("optimal", false, "run the exact optimum search instead of the constructive adversary (n <= 24; with -file, any circuit)")
+	optimal := flag.Bool("optimal", false, "run the exact optimum search instead of the constructive adversary (n <= 26; with -file, any circuit)")
 	memoSpec := flag.String("memo", "auto", "transposition table for -optimal: byte size, \"auto\", or \"off\"")
+	spill := flag.String("spill", "", "with -optimal: spill file for the transposition table (created, or reopened warm)")
+	spillBytes := flag.Int64("spill-bytes", 256<<20, "with -spill: disk budget in bytes for a new spill file (min 64 KiB)")
+	resume := flag.String("resume", "", "with -optimal: resume from this journal's frontier records, skipping completed prefixes")
+	coordURL := flag.String("coord", "", "with -optimal: join the optimum-search coordinator at this URL as a worker (circuit comes from the coordinator)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none); partial per-block results are kept")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); Theorem 4.1's recursion forks automatically, so this caps the scheduler")
 	flag.Parse()
@@ -133,13 +159,29 @@ func main() {
 	}
 	saveCert = *save
 
+	ocfg := optimalConfig{
+		memoSpec: *memoSpec, workers: *workers, verbose: *verbose,
+		resume: *resume, spill: *spill, spillBytes: *spillBytes,
+	}
+	if *coordURL != "" {
+		if !*optimal {
+			fail("-coord requires -optimal (only the optimum search is distributed)")
+		}
+		if *resume != "" {
+			fail("-resume and -coord are mutually exclusive: the coordinator owns the frontier, workers just lease chunks of it")
+		}
+		runOptimalWorker(ctx, *coordURL, ocfg)
+		cli.Finish()
+		return
+	}
+
 	if *file != "" {
 		if *optimal {
 			circ := loadCircuit(*file)
 			cli.Entry.Set("file", *file)
 			cli.Entry.Set("n", circ.Wires())
 			fmt.Printf("loaded: %v from %s\n", circ, *file)
-			runOptimal(ctx, circ, *memoSpec, *workers, *verbose)
+			runOptimal(ctx, circ, ocfg)
 			cli.Finish()
 			return
 		}
@@ -191,7 +233,7 @@ func main() {
 
 	if *optimal {
 		circ, _ := it.ToNetwork()
-		runOptimal(ctx, circ, *memoSpec, *workers, *verbose)
+		runOptimal(ctx, circ, ocfg)
 		cli.Finish()
 		return
 	}
@@ -348,39 +390,142 @@ func loadCircuit(path string) *network.Network {
 	return circ
 }
 
+// optimalConfig carries the -optimal flag cluster.
+type optimalConfig struct {
+	memoSpec   string
+	workers    int
+	verbose    bool
+	resume     string
+	spill      string
+	spillBytes int64
+}
+
+// optimalMemo builds the transposition table for an n-wire -optimal
+// run: nil means "off"; with -spill the table is disk-backed via
+// core.OpenSpillMemo (reopened warm when the file already exists). The
+// spill tag is the build's git describe (falling back to the Go
+// version), so a file written by different code is refused rather than
+// misread.
+func optimalMemo(n int, cfg optimalConfig) (m *core.Memo, warm bool) {
+	var ram int64
+	switch cfg.memoSpec {
+	case "off":
+		if cfg.spill != "" {
+			fail("-memo off cannot be combined with -spill (there is no table to spill)")
+		}
+		return nil, false
+	case "", "auto":
+		ram = core.AutoMemoBytes(n)
+	default:
+		b, err := strconv.ParseInt(cfg.memoSpec, 10, 64)
+		if err != nil || b <= 0 {
+			fail(fmt.Sprintf("-memo must be a positive byte count, \"auto\", or \"off\" (got %q)", cfg.memoSpec))
+		}
+		ram = b
+	}
+	if cfg.spill == "" {
+		return core.NewMemo(ram), false
+	}
+	tag := cli.Entry.Git
+	if tag == "" {
+		tag = runtime.Version()
+	}
+	m, warm, err := core.OpenSpillMemo(cfg.spill, ram, cfg.spillBytes, tag)
+	if err != nil {
+		fail(err.Error())
+	}
+	mode := "cold"
+	if warm {
+		mode = "warm (reopened with the previous run's bounds)"
+	}
+	ms := m.Stats()
+	fmt.Printf("transposition table spill: %s, %d bytes on disk, %s\n", cfg.spill, ms.DiskBytes, mode)
+	cli.Entry.Set("spill", map[string]any{"path": cfg.spill, "disk_bytes": ms.DiskBytes, "warm": warm})
+	return m, warm
+}
+
+// printMemoStats prints and journals the table's final counters.
+func printMemoStats(m *core.Memo, noMemo bool) {
+	cli.Entry.Set("memo", m.Stats())
+	if noMemo {
+		fmt.Println("transposition table: off")
+		return
+	}
+	ms := m.Stats()
+	fmt.Printf("transposition table: %d bytes, %d hits / %d misses / %d stores / %d evictions\n",
+		ms.Bytes, ms.Hits, ms.Misses, ms.Stores, ms.Evictions)
+	if ms.DiskBytes > 0 {
+		fmt.Printf("spill tier: %d bytes, %d disk hits / %d demotions\n",
+			ms.DiskBytes, ms.DiskHits, ms.Demotions)
+	}
+}
+
 // runOptimal runs the exact branch-and-bound optimum search on circ —
 // the largest noncolliding [M_0]-set any {S0,M0,L0}-pattern admits,
 // i.e. the ceiling on what any adversary of the paper's form could
-// achieve there. The transposition table is sized by -memo and its
-// final counters are printed and journaled.
-func runOptimal(ctx context.Context, circ *network.Network, memoSpec string, workers int, verbose bool) {
+// achieve there. The transposition table is sized by -memo (optionally
+// spill-backed by -spill); with -journal the prefix frontier is
+// checkpointed, and -resume restarts from such a checkpoint with a
+// byte-identical result.
+func runOptimal(ctx context.Context, circ *network.Network, cfg optimalConfig) {
 	n := circ.Wires()
 	if n > core.MaxOptimalWires {
 		fail(fmt.Sprintf("-optimal handles at most %d wires (core.MaxOptimalWires); the circuit has %d", core.MaxOptimalWires, n))
 	}
-	opt := core.OptimalOptions{Workers: workers, Progress: prog}
-	switch memoSpec {
-	case "off":
-		opt.NoMemo = true
-	case "", "auto":
-		opt.Memo = core.NewMemo(core.AutoMemoBytes(n))
-	default:
-		b, err := strconv.ParseInt(memoSpec, 10, 64)
-		if err != nil || b <= 0 {
-			fail(fmt.Sprintf("-memo must be a positive byte count, \"auto\", or \"off\" (got %q)", memoSpec))
-		}
-		opt.Memo = core.NewMemo(b)
-	}
+	opt := core.OptimalOptions{Workers: cfg.workers, Progress: prog}
+	opt.Memo, _ = optimalMemo(n, cfg)
+	opt.NoMemo = opt.Memo == nil
+	defer opt.Memo.Close()
 	cli.Entry.Set("optimal", true)
 	cli.Entry.Set("memo_bytes", opt.Memo.Stats().Bytes) // 0 when off
+
+	// Frontier checkpointing and resume. The records ride the run
+	// journal; parsing a prior journal yields the prefixes to skip and
+	// the incumbent to seed, which by DESIGN.md decision 14 reproduces
+	// the uninterrupted run exactly.
+	fp := core.NetworkFingerprint(circ)
+	prefixes := core.OptimalPrefixes(n)
+	var fr *coord.Frontier
+	if cfg.resume != "" {
+		var err error
+		fr, err = coord.ParseResumeJournalFile(cfg.resume)
+		if err != nil {
+			fail("-resume: " + err.Error())
+		}
+		if fr.Net != fp {
+			fail(fmt.Sprintf("-resume: journal %s checkpoints network %s, but this run searches %s (different circuit)", cfg.resume, fr.Net, fp))
+		}
+		opt.SkipPrefix = fr.Skip
+		opt.SeedIncumbent = fr.Seed
+		fmt.Printf("resuming from %s: seq %d, %d/%d prefixes skipped\n",
+			cfg.resume, fr.LastSeq, len(fr.Done), prefixes)
+		cli.Entry.Set("resume", map[string]any{"from": cfg.resume, "from_seq": fr.LastSeq, "skipped": len(fr.Done)})
+	}
+	fw := coord.NewFrontierWriter(cli.Journal(), cli.Entry.Run)
+	if err := fw.Init(fp, n, prefixes, opt.SeedIncumbent); err != nil {
+		fail("journal: " + err.Error())
+	}
+	if fr != nil {
+		if err := fw.Resumed(cfg.resume, fr.LastSeq, len(fr.Done), prefixes, fr.Seed); err != nil {
+			fail("journal: " + err.Error())
+		}
+	}
+	var journalErr sync.Once
+	opt.OnPrefixDone = func(p int, inc uint64) {
+		if err := fw.PrefixDone(p, inc); err != nil {
+			journalErr.Do(func() {
+				fmt.Fprintf(os.Stderr, "adversary: frontier checkpoint: %v (search continues; the journal is incomplete)\n", err)
+			})
+		}
+	}
 
 	sp := obs.NewSpan("optimal", obs.A("n", n))
 	start := time.Now()
 	size, p, set, err := core.OptimalNoncollidingOpt(ctx, circ, opt)
 	sp.End()
 	cli.Entry.AddSpans(sp)
-	cli.Entry.Set("memo", opt.Memo.Stats())
 	if err != nil {
+		cli.Entry.Set("memo", opt.Memo.Stats())
 		var ce *par.ErrCanceled
 		if errors.As(err, &ce) {
 			cli.Entry.SetPartial(ce.Fields())
@@ -392,17 +537,55 @@ func runOptimal(ctx context.Context, circ *network.Network, memoSpec string, wor
 	cli.Entry.Set("optimal_d", size)
 	fmt.Printf("optimal noncolliding [M_0]-set: %d of %d wires (exact, %v)\n",
 		size, n, time.Since(start).Round(time.Millisecond))
-	if verbose {
+	if cfg.verbose {
 		fmt.Printf("  witness pattern: %v\n", p)
 		fmt.Printf("  set: %v\n", set)
 	}
-	if opt.NoMemo {
-		fmt.Println("transposition table: off")
-	} else {
-		ms := opt.Memo.Stats()
-		fmt.Printf("transposition table: %d bytes, %d hits / %d misses / %d stores / %d evictions\n",
-			ms.Bytes, ms.Hits, ms.Misses, ms.Stores, ms.Evictions)
+	printMemoStats(opt.Memo, opt.NoMemo)
+}
+
+// runOptimalWorker joins a cmd/optcoord coordinator: the circuit comes
+// over HTTP, leased frontier chunks are searched with this process's
+// table (optionally spill-backed), and packed results are reported
+// back. Prints the final merged result when the frontier completes.
+func runOptimalWorker(ctx context.Context, url string, cfg optimalConfig) {
+	circ, err := coord.FetchNet(ctx, nil, url)
+	if err != nil {
+		fail(err.Error())
 	}
+	n := circ.Wires()
+	fmt.Printf("coordinator %s: %v, fingerprint %s\n", url, circ, core.NetworkFingerprint(circ))
+	cli.Entry.Set("coord", url)
+	cli.Entry.Set("n", n)
+
+	m, _ := optimalMemo(n, cfg)
+	defer m.Close()
+	start := time.Now()
+	packed, err := coord.RunWorker(ctx, url, coord.WorkerOptions{
+		Workers:  cfg.workers,
+		Memo:     m,
+		Progress: prog,
+	})
+	cli.Entry.Set("memo", m.Stats())
+	if err != nil {
+		var ce *par.ErrCanceled
+		if errors.As(err, &ce) {
+			cli.Entry.SetPartial(ce.Fields())
+			fmt.Printf("worker canceled (%v)\n", err)
+			cli.Finish()
+			os.Exit(cli.ExitCode())
+		}
+		fail(err.Error())
+	}
+	size, p, set := core.DecodeOptimalWitness(n, packed)
+	cli.Entry.Set("optimal_d", size)
+	fmt.Printf("optimal noncolliding [M_0]-set: %d of %d wires (exact, %v)\n",
+		size, n, time.Since(start).Round(time.Millisecond))
+	if cfg.verbose {
+		fmt.Printf("  witness pattern: %v\n", p)
+		fmt.Printf("  set: %v\n", set)
+	}
+	printMemoStats(m, m == nil)
 }
 
 // runOnFile loads a circuit, recovers its iterated RDN structure, and

@@ -67,9 +67,11 @@ type Doc struct {
 // (SWAR) 0-1 evaluation kernels — a regression there slows every
 // exhaustive sorting check in the repo — the generated sorting
 // kernels plus their shufflenet.Sort dispatch path, the library's
-// user-facing fast path (PR 6), and the daemon's end-to-end request
-// legs — the coalesced probe and warm-memo optimum paths (PR 8).
-const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/|BenchmarkServe`
+// user-facing fast path (PR 6), the daemon's end-to-end request
+// legs — the coalesced probe and warm-memo optimum paths (PR 8) —
+// and the durable-search machinery: the spill-backed transposition
+// table and the checkpoint/resume paths of the optimum search (PR 9).
+const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/|BenchmarkServe|BenchmarkMemoSpill/|BenchmarkOptimalResume/`
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")

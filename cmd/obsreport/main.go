@@ -88,10 +88,12 @@ func main() {
 	}
 }
 
-// Record is one journal line — either a run entry (no "type" field;
-// obs.Entry's schema) or a heartbeat ("type":"heartbeat"; obs.Sample's
-// schema). The two schemas share Time/Cmd/Run, so one struct decodes
-// both and Type discriminates.
+// Record is one journal line — a run entry (no "type" field;
+// obs.Entry's schema), a heartbeat ("type":"heartbeat"; obs.Sample's
+// schema), or a frontier checkpoint from the resumable optimum search
+// ("type":"frontier_init" / "prefix_done" / "resumed"; internal/coord's
+// schemas). The schemas share Time/Cmd/Run, so one struct decodes them
+// all and Type discriminates.
 type Record struct {
 	Type string `json:"type"`
 	Time string `json:"time"`
@@ -118,6 +120,15 @@ type Record struct {
 	EtaMS     float64        `json:"eta_ms"`
 	Fields    map[string]any `json:"fields"`
 	Final     bool           `json:"final"`
+
+	// Frontier-checkpoint fields (internal/coord records).
+	Net       string `json:"net"`
+	Prefixes  int    `json:"prefixes"`
+	Prefix    int    `json:"prefix"`
+	Incumbent uint64 `json:"incumbent"`
+	From      string `json:"from"`
+	FromSeq   int    `json:"from_seq"`
+	Skipped   int    `json:"skipped"`
 }
 
 // ParseJournal reads one JSONL journal. Unparseable lines are an
@@ -144,13 +155,19 @@ func ParseJournal(r io.Reader) ([]Record, error) {
 }
 
 // Run is one invocation reconstructed from the journal: its entry (nil
-// when the process died before writing one) and its heartbeat trail in
-// journal order.
+// when the process died before writing one), its heartbeat trail, and
+// its frontier checkpoints, all in journal order.
 type Run struct {
 	ID    string
 	Cmd   string
 	Entry *Record
 	Beats []*Record
+
+	// Frontier-checkpoint trail (resumable optimum search).
+	Init       *Record // frontier_init, when present
+	Resumed    *Record // resumed, when present
+	DonePrefix int     // count of prefix_done records
+	LastSeq    int64   // highest frontier record seq
 }
 
 // Complete reports whether the run wrote its final entry.
@@ -179,9 +196,25 @@ func GroupRuns(recs []Record) []*Run {
 			id = fmt.Sprintf("(pre-heartbeat journal, record %d)", i+1)
 		}
 		r := get(id, rec.Cmd)
-		if rec.Type == "heartbeat" {
+		switch rec.Type {
+		case "heartbeat":
 			r.Beats = append(r.Beats, rec)
-		} else {
+		case "frontier_init":
+			r.Init = rec
+			if rec.Seq > r.LastSeq {
+				r.LastSeq = rec.Seq
+			}
+		case "prefix_done":
+			r.DonePrefix++
+			if rec.Seq > r.LastSeq {
+				r.LastSeq = rec.Seq
+			}
+		case "resumed":
+			r.Resumed = rec
+			if rec.Seq > r.LastSeq {
+				r.LastSeq = rec.Seq
+			}
+		default:
 			r.Entry = rec
 		}
 	}
@@ -228,6 +261,20 @@ func WriteReport(w io.Writer, runs []*Run) {
 			if !e.Interrupted && !e.TimedOut && !failed {
 				prev[key] = e
 			}
+		}
+		if r.Resumed != nil {
+			fmt.Fprintf(w, "  resumed from seq %d, %d/%d prefixes skipped (from %s)\n",
+				r.Resumed.FromSeq, r.Resumed.Skipped, r.Resumed.Prefixes, r.Resumed.From)
+		}
+		if r.Init != nil || r.DonePrefix > 0 {
+			line := fmt.Sprintf("  frontier checkpoints: %d", r.DonePrefix)
+			if r.Init != nil {
+				line += fmt.Sprintf("/%d prefixes done (net %s)", r.Init.Prefixes, shortNet(r.Init.Net))
+			} else {
+				line += " prefixes done (no frontier_init in these journals)"
+			}
+			line += fmt.Sprintf(", last seq %d", r.LastSeq)
+			fmt.Fprintln(w, line)
 		}
 		if n := len(r.Beats); n > 0 {
 			last := r.Beats[n-1]
@@ -383,6 +430,14 @@ func splitList(s string) []string {
 }
 
 // fmtMS renders a millisecond quantity compactly (1.2s, 450ms, 2m3s).
+// shortNet abbreviates a 32-hex-digit network fingerprint for display.
+func shortNet(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12] + "…"
+	}
+	return fp
+}
+
 func fmtMS(ms float64) string {
 	switch {
 	case ms <= 0:

@@ -94,6 +94,54 @@ func TestWriteReportFailedRun(t *testing.T) {
 	}
 }
 
+// TestWriteReportFrontier: the resumable-search checkpoint records are
+// recognized (not mistaken for run entries) and rendered as the resume
+// summary plus a checkpoint count; heartbeat accounting is unaffected.
+func TestWriteReportFrontier(t *testing.T) {
+	const j = `{"type":"frontier_init","run":"adversary-1-a","cmd":"adversary","net":"00112233445566778899aabbccddeeff","n":26,"prefixes":81,"seq":1}
+{"type":"prefix_done","run":"adversary-1-a","cmd":"adversary","prefix":0,"incumbent":123,"seq":2}
+{"type":"prefix_done","run":"adversary-1-a","cmd":"adversary","prefix":1,"incumbent":456,"seq":3}
+{"type":"heartbeat","run":"adversary-1-a","cmd":"adversary","seq":1,"elapsed_ms":50}
+{"type":"frontier_init","run":"adversary-2-b","cmd":"adversary","net":"00112233445566778899aabbccddeeff","n":26,"prefixes":81,"seed":456,"seq":1}
+{"type":"resumed","run":"adversary-2-b","cmd":"adversary","from":"run.jsonl","from_seq":3,"skipped":2,"prefixes":81,"seed":456,"seq":2}
+{"time":"2026-08-07T10:02:00Z","cmd":"adversary","run":"adversary-2-b","args":["-optimal"],"wall_ms":3000}
+`
+	recs, err := ParseJournal(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := GroupRuns(recs)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	killed := runs[0]
+	if killed.Complete() {
+		t.Fatalf("run 0 has only checkpoints and a heartbeat; must be incomplete: %+v", killed)
+	}
+	if killed.DonePrefix != 2 || killed.Init == nil || killed.LastSeq != 3 {
+		t.Fatalf("run 0 frontier state: done=%d init=%v lastSeq=%d", killed.DonePrefix, killed.Init, killed.LastSeq)
+	}
+	if len(killed.Beats) != 1 {
+		t.Fatalf("frontier records must not count as heartbeats: %d beats", len(killed.Beats))
+	}
+	if runs[1].Resumed == nil || !runs[1].Complete() {
+		t.Fatalf("run 1 should be a completed resumed run: %+v", runs[1])
+	}
+
+	var buf strings.Builder
+	WriteReport(&buf, runs)
+	out := buf.String()
+	for _, want := range []string{
+		"resumed from seq 3, 2/81 prefixes skipped (from run.jsonl)",
+		"frontier checkpoints: 2/81 prefixes done",
+		"last seq 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseJournalRejectsCorrupt(t *testing.T) {
 	if _, err := ParseJournal(strings.NewReader("{\"cmd\":\"x\"}\nnot json\n")); err == nil {
 		t.Fatal("corrupt journal line must be an error")

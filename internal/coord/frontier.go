@@ -1,0 +1,253 @@
+// Package coord makes the optimum search durable and distributable:
+// typed frontier records checkpoint the 81-prefix frontier into the
+// JSONL run journal (so a killed run resumes with -resume), and an
+// HTTP coordinator leases prefix ranges to worker processes and merges
+// their packed incumbents (so one search spans machines).
+//
+// Everything rests on one algebraic fact, proved as DESIGN.md §4
+// decision 14: the packed incumbent is a pure max over the search's
+// leaves, and when a frontier prefix completes, the global incumbent
+// at that moment dominates everything the prefix's subtree could
+// contribute. Hence (a) a resumed run that skips completed prefixes
+// and seeds the recorded incumbent returns the byte-identical result,
+// and (b) the max of per-shard results over any partition of the
+// frontier equals the whole search's result. Checkpointing and
+// sharding are the same mechanism at two granularities.
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"shufflenet/internal/obs"
+)
+
+// Record type tags, shared by the journal writer, the resume parser,
+// and obsreport's renderer. They live in the same JSONL stream as run
+// entries and heartbeats; the "type" field discriminates.
+const (
+	RecFrontierInit = "frontier_init"
+	RecPrefixDone   = "prefix_done"
+	RecResumed      = "resumed"
+)
+
+// FrontierInit opens a checkpointed search in the journal: which
+// network (by fingerprint — see core.NetworkFingerprint), how wide its
+// frontier is, and the incumbent the run was seeded with (non-zero on
+// a resumed run, so chains of resumes stay sound).
+type FrontierInit struct {
+	Type     string `json:"type"`
+	Run      string `json:"run,omitempty"`
+	Net      string `json:"net"`
+	N        int    `json:"n"`
+	Prefixes int    `json:"prefixes"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Seq      int    `json:"seq"`
+}
+
+// PrefixDone checkpoints one retired frontier prefix together with the
+// global packed incumbent at the moment its subtree was exhausted —
+// by the resume proof, a sound seed for any run that skips it.
+type PrefixDone struct {
+	Type      string `json:"type"`
+	Run       string `json:"run,omitempty"`
+	Prefix    int    `json:"prefix"`
+	Incumbent uint64 `json:"incumbent"`
+	Seq       int    `json:"seq"`
+}
+
+// Resumed is written by a -resume run after parsing a prior journal:
+// where it resumed from, how much of the frontier it inherited, and
+// the seed it starts with. obsreport renders it as "resumed from seq
+// N, M/P prefixes skipped".
+type Resumed struct {
+	Type     string `json:"type"`
+	Run      string `json:"run,omitempty"`
+	From     string `json:"from"`
+	FromSeq  int    `json:"from_seq"`
+	Skipped  int    `json:"skipped"`
+	Prefixes int    `json:"prefixes"`
+	Seed     uint64 `json:"seed"`
+	Seq      int    `json:"seq"`
+}
+
+// FrontierWriter journals frontier records with monotonically
+// increasing per-run sequence numbers. Safe for concurrent use (the
+// search calls PrefixDone from worker goroutines). A writer over a nil
+// journal is inert, mirroring obs.Journal's nil behavior.
+type FrontierWriter struct {
+	mu  sync.Mutex
+	j   *obs.Journal
+	run string
+	seq int
+}
+
+// NewFrontierWriter wraps a journal (nil is allowed and yields an
+// inert writer); run correlates the records with the run's entry and
+// heartbeats.
+func NewFrontierWriter(j *obs.Journal, run string) *FrontierWriter {
+	return &FrontierWriter{j: j, run: run}
+}
+
+func (w *FrontierWriter) nextSeq() int {
+	w.seq++
+	return w.seq
+}
+
+// Init journals the FrontierInit record.
+func (w *FrontierWriter) Init(net string, n, prefixes int, seed uint64) error {
+	if w == nil || w.j == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.WriteRecord(FrontierInit{
+		Type: RecFrontierInit, Run: w.run,
+		Net: net, N: n, Prefixes: prefixes, Seed: seed, Seq: w.nextSeq(),
+	})
+}
+
+// PrefixDone journals one retired prefix. Errors are returned so the
+// CLI can surface a failing disk, but the search result does not
+// depend on them.
+func (w *FrontierWriter) PrefixDone(prefix int, incumbent uint64) error {
+	if w == nil || w.j == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.WriteRecord(PrefixDone{
+		Type: RecPrefixDone, Run: w.run,
+		Prefix: prefix, Incumbent: incumbent, Seq: w.nextSeq(),
+	})
+}
+
+// Resumed journals the resume provenance record.
+func (w *FrontierWriter) Resumed(from string, fromSeq, skipped, prefixes int, seed uint64) error {
+	if w == nil || w.j == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.WriteRecord(Resumed{
+		Type: RecResumed, Run: w.run,
+		From: from, FromSeq: fromSeq, Skipped: skipped, Prefixes: prefixes, Seed: seed, Seq: w.nextSeq(),
+	})
+}
+
+// Frontier is the resumable state reconstructed from a journal: which
+// prefixes any prior run completed, the strongest incumbent recorded,
+// and the identity the records were stamped with.
+type Frontier struct {
+	Net      string
+	N        int
+	Prefixes int
+	Done     map[int]bool
+	Seed     uint64
+	// LastSeq is the highest frontier sequence number seen — the
+	// "resumed from seq N" of the provenance record.
+	LastSeq int
+}
+
+// Skip is a core.OptimalOptions.SkipPrefix for this frontier. Safe on
+// a nil receiver (skips nothing).
+func (f *Frontier) Skip(prefix int) bool {
+	return f != nil && f.Done[prefix]
+}
+
+// ParseResumeJournal reads a JSONL run journal and reconstructs the
+// checkpointed frontier. Non-frontier records (run entries,
+// heartbeats) are ignored; unparseable lines are an error except for a
+// torn final line, which is the expected signature of a killed run and
+// is tolerated. Records from multiple runs (a chain of resumes
+// appending to one file) accumulate: a prefix done in any run stays
+// done, and the seed is the max incumbent recorded anywhere — both
+// sound because every recorded incumbent is a real leaf of this
+// network's search. Mixing networks in one journal is an error.
+func ParseResumeJournal(r io.Reader) (*Frontier, error) {
+	f := &Frontier{Done: map[int]bool{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line, torn := 0, false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if torn {
+			return nil, fmt.Errorf("line %d: unparseable record followed by more records (corrupt journal, not a torn tail)", line-1)
+		}
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(text), &tag); err != nil {
+			torn = true
+			continue
+		}
+		switch tag.Type {
+		case RecFrontierInit:
+			var rec FrontierInit
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			if f.Net != "" && rec.Net != f.Net {
+				return nil, fmt.Errorf("line %d: journal mixes networks (%s then %s)", line, f.Net, rec.Net)
+			}
+			if f.Net != "" && (rec.N != f.N || rec.Prefixes != f.Prefixes) {
+				return nil, fmt.Errorf("line %d: journal mixes frontier geometries (%d wires/%d prefixes then %d/%d)", line, f.N, f.Prefixes, rec.N, rec.Prefixes)
+			}
+			f.Net, f.N, f.Prefixes = rec.Net, rec.N, rec.Prefixes
+			if rec.Seed > f.Seed {
+				f.Seed = rec.Seed
+			}
+			if rec.Seq > f.LastSeq {
+				f.LastSeq = rec.Seq
+			}
+		case RecPrefixDone:
+			var rec PrefixDone
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			if f.Net == "" {
+				return nil, fmt.Errorf("line %d: %s record before any %s", line, RecPrefixDone, RecFrontierInit)
+			}
+			if rec.Prefix < 0 || rec.Prefix >= f.Prefixes {
+				return nil, fmt.Errorf("line %d: prefix %d outside the %d-wide frontier", line, rec.Prefix, f.Prefixes)
+			}
+			f.Done[rec.Prefix] = true
+			if rec.Incumbent > f.Seed {
+				f.Seed = rec.Incumbent
+			}
+			if rec.Seq > f.LastSeq {
+				f.LastSeq = rec.Seq
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f.Net == "" {
+		return nil, fmt.Errorf("no %s record: not a checkpointed optimum journal", RecFrontierInit)
+	}
+	return f, nil
+}
+
+// ParseResumeJournalFile is ParseResumeJournal over a file path.
+func ParseResumeJournalFile(path string) (*Frontier, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	f, err := ParseResumeJournal(fd)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}

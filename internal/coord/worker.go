@@ -1,0 +1,182 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"shufflenet/internal/core"
+	"shufflenet/internal/network"
+	"shufflenet/internal/obs"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies this worker in leases (default "worker").
+	Name string
+	// Workers is the per-process search worker count (0 = GOMAXPROCS).
+	Workers int
+	// Memo is the transposition table for this process's searches (nil
+	// = a private auto-sized table per process; a spill-backed table
+	// from core.OpenSpillMemo persists bounds across leases and runs).
+	Memo *core.Memo
+	// Poll is how long to sleep when every chunk is leased elsewhere
+	// (0 = 250ms).
+	Poll time.Duration
+	// Progress, when non-nil, receives the underlying searches' live
+	// telemetry plus a lease counter.
+	Progress *obs.Progress
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+var metWorkerLeases = obs.C("coord.worker.leases")
+
+// RunWorker joins the coordinator at baseURL and works leases until
+// the frontier is complete, returning the final merged packed
+// incumbent. It fetches the network once, verifies the fingerprint
+// round-trips (refusing to compute against a different circuit than
+// the coordinator will verify), and then loops lease → search the
+// [start, end) shard with the leased seed → report. Transient HTTP
+// errors abort with an error; the coordinator's TTL re-leases the
+// abandoned chunk, so a crashed worker costs only its in-flight chunk.
+func RunWorker(ctx context.Context, baseURL string, opt WorkerOptions) (uint64, error) {
+	name := opt.Name
+	if name == "" {
+		name = "worker"
+	}
+	poll := opt.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	c, info, err := fetchNet(ctx, client, baseURL)
+	if err != nil {
+		return 0, err
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		var lease leaseResp
+		if err := postJSON(ctx, client, baseURL+"/v1/lease", leaseReq{Worker: name}, &lease); err != nil {
+			return 0, fmt.Errorf("coord worker: lease: %w", err)
+		}
+		switch {
+		case lease.Done:
+			return lease.Packed, nil
+		case lease.Wait:
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		metWorkerLeases.Add(1)
+
+		skip := make(map[int]bool, len(lease.Skip))
+		for _, p := range lease.Skip {
+			skip[p] = true
+		}
+		packed, err := core.OptimalNoncollidingPacked(ctx, c, core.OptimalOptions{
+			Workers:       opt.Workers,
+			Memo:          opt.Memo,
+			Progress:      opt.Progress,
+			ShardStart:    lease.Start,
+			ShardEnd:      lease.End,
+			SkipPrefix:    func(p int) bool { return skip[p] },
+			SeedIncumbent: lease.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		report := reportReq{
+			Worker: name, Lease: lease.Lease,
+			Start: lease.Start, End: lease.End,
+			Packed: packed, Fingerprint: info.Fingerprint,
+		}
+		if err := postJSON(ctx, client, baseURL+"/v1/report", report, nil); err != nil {
+			return 0, fmt.Errorf("coord worker: report: %w", err)
+		}
+	}
+}
+
+// FetchNet fetches the coordinator's network and verifies it
+// round-trips to the advertised fingerprint. CLIs use it to size
+// per-process resources (e.g. the transposition table) before joining
+// as a worker. client nil means http.DefaultClient.
+func FetchNet(ctx context.Context, client *http.Client, baseURL string) (*network.Network, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c, _, err := fetchNet(ctx, client, strings.TrimRight(baseURL, "/"))
+	return c, err
+}
+
+func fetchNet(ctx context.Context, client *http.Client, baseURL string) (*network.Network, netInfo, error) {
+	var info netInfo
+	if err := getJSON(ctx, client, baseURL+"/v1/net", &info); err != nil {
+		return nil, info, fmt.Errorf("coord worker: fetch network: %w", err)
+	}
+	c, err := network.ReadText(strings.NewReader(info.NetText))
+	if err != nil {
+		return nil, info, fmt.Errorf("coord worker: parse network: %w", err)
+	}
+	if fp := core.NetworkFingerprint(c); fp != info.Fingerprint {
+		return nil, info, fmt.Errorf("coord worker: network fingerprint %s does not round-trip (coordinator sent %s)", fp, info.Fingerprint)
+	}
+	if got := core.OptimalPrefixes(c.Wires()); got != info.Prefixes {
+		return nil, info, fmt.Errorf("coord worker: frontier width %d does not match coordinator's %d", got, info.Prefixes)
+	}
+	return c, info, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

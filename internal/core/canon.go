@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 
 	"shufflenet/internal/network"
@@ -284,6 +285,17 @@ func structureSalt(c *network.Network) (uint64, uint64) {
 		}
 	}
 	return h1, h2
+}
+
+// NetworkFingerprint digests the comparator structure (wire count and
+// the full leveled comparator list) into a fixed 32-hex-digit string —
+// the same salts the transposition table keys carry. Frontier journals
+// and the shard coordinator stamp it on their records so a resume or a
+// merge against a *different* network is refused up front instead of
+// producing a silently wrong certificate.
+func NetworkFingerprint(c *network.Network) string {
+	h1, h2 := structureSalt(c)
+	return fmt.Sprintf("%016x%016x", h1, h2)
 }
 
 // findAutos discovers up to maxAutos verified symmetries: wire

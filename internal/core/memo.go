@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"shufflenet/internal/mmapio"
 	"shufflenet/internal/obs"
 )
 
@@ -31,7 +32,18 @@ type Memo struct {
 	mask   uint64 // buckets per shard - 1
 	bytes  int64
 
+	// Disk tier (nil without a spill file): per-shard bucket arrays
+	// viewed directly over the mmap'd spill file, guarded by the same
+	// shard mutexes as the RAM tier. RAM evictions demote the victim
+	// here instead of dropping it, and a RAM miss probes here before
+	// reporting a miss — see memospill.go.
+	disk      [][]memoBucket
+	diskMask  uint64 // disk buckets per shard - 1
+	diskBytes int64
+	spill     *mmapio.File
+
 	hits, misses, stores, evicts atomic.Int64
+	diskHits, demotions          atomic.Int64
 }
 
 type memoShard struct {
@@ -70,12 +82,14 @@ const (
 )
 
 var (
-	metMemoHits    = obs.C("core.optimal.memo.hits")
-	metMemoMisses  = obs.C("core.optimal.memo.misses")
-	metMemoStores  = obs.C("core.optimal.memo.stores")
-	metMemoEvicts  = obs.C("core.optimal.memo.evictions")
-	metMemoEntries = obs.G("core.optimal.memo.entries")
-	metMemoLoad    = obs.FG("core.optimal.memo.load")
+	metMemoHits     = obs.C("core.optimal.memo.hits")
+	metMemoMisses   = obs.C("core.optimal.memo.misses")
+	metMemoStores   = obs.C("core.optimal.memo.stores")
+	metMemoEvicts   = obs.C("core.optimal.memo.evictions")
+	metMemoEntries  = obs.G("core.optimal.memo.entries")
+	metMemoLoad     = obs.FG("core.optimal.memo.load")
+	metMemoDiskHits = obs.C("core.optimal.memo.disk.hits")
+	metMemoDemotes  = obs.C("core.optimal.memo.disk.demotions")
 )
 
 // NewMemo allocates a table of at most the given byte budget (rounded
@@ -133,6 +147,7 @@ func AutoMemoBytes(n int) int64 {
 // totals and the obs registry once per search.
 type memoStats struct {
 	hits, misses, stores, evicts int64
+	dhits, demotes               int64
 }
 
 func (m *Memo) flush(st *memoStats) {
@@ -143,10 +158,14 @@ func (m *Memo) flush(st *memoStats) {
 	m.misses.Add(st.misses)
 	m.stores.Add(st.stores)
 	m.evicts.Add(st.evicts)
+	m.diskHits.Add(st.dhits)
+	m.demotions.Add(st.demotes)
 	metMemoHits.Add(st.hits)
 	metMemoMisses.Add(st.misses)
 	metMemoStores.Add(st.stores)
 	metMemoEvicts.Add(st.evicts)
+	metMemoDiskHits.Add(st.dhits)
+	metMemoDemotes.Add(st.demotes)
 	// Occupancy gauges: entries = stores − evictions (a store either
 	// fills a free slot or replaces an occupied one). When several
 	// tables share the registry the gauges track the most recently
@@ -179,6 +198,14 @@ func (m *Memo) probe(h1, h2 uint64, t int, st *memoStats) (uint8, bool) {
 			return ub, true
 		}
 	}
+	if m.disk != nil {
+		si := int(h1 >> (64 - memoShardBits))
+		if ub, ok := m.diskProbe(si, h2, want); ok {
+			s.mu.Unlock()
+			st.dhits++
+			return ub, true
+		}
+	}
 	s.mu.Unlock()
 	st.misses++
 	return 0, false
@@ -208,6 +235,14 @@ func (m *Memo) store(h1, h2 uint64, t int, ub uint8, st *memoStats) {
 		}
 	}
 	evict := b.meta[victim]&(1<<16) != 0
+	if evict && m.disk != nil {
+		// Spill path: the sacrificed entry demotes to the disk tier
+		// (still under the shard lock — both tiers share it) instead of
+		// being forgotten; a warm reopen serves it back.
+		si := int(h1 >> (64 - memoShardBits))
+		m.diskStore(si, b.key[victim], b.meta[victim])
+		st.demotes++
+	}
 	b.key[victim] = h2
 	b.meta[victim] = want | uint32(ub)
 	s.mu.Unlock()
@@ -232,6 +267,12 @@ type MemoStats struct {
 	Entries    int64   `json:"entries"`
 	Capacity   int64   `json:"capacity"`
 	LoadFactor float64 `json:"load_factor"`
+	// Spill-tier activity (zero without a spill file): the disk tier's
+	// byte size, probe hits served from it, and RAM evictions demoted
+	// into it instead of dropped.
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+	DiskHits  int64 `json:"disk_hits,omitempty"`
+	Demotions int64 `json:"demotions,omitempty"`
 }
 
 // Stats reports the table size and cumulative counters. Counters are
@@ -249,6 +290,9 @@ func (m *Memo) Stats() MemoStats {
 		Stores:    m.stores.Load(),
 		Evictions: m.evicts.Load(),
 		Capacity:  m.bytes / memoEntryCost,
+		DiskBytes: m.diskBytes,
+		DiskHits:  m.diskHits.Load(),
+		Demotions: m.demotions.Load(),
 	}
 	s.Entries = s.Stores - s.Evictions
 	if s.Capacity > 0 {

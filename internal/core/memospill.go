@@ -1,0 +1,282 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"unsafe"
+
+	"shufflenet/internal/mmapio"
+)
+
+// Spillable transposition table: a second, disk-resident bucket tier
+// under the in-RAM Memo, mmap'd from a versioned on-disk file. The RAM
+// tier stays exactly as decision 10 built it (bounded, lock-striped,
+// two slots per bucket); what changes is the fate of an evicted entry —
+// with a spill attached it demotes into the disk tier instead of being
+// dropped, and a RAM miss probes the disk tier before giving up. Both
+// tiers of a shard share one mutex, so there is no new lock order.
+//
+// Soundness is inherited, not re-proven: every entry in either tier is
+// a true upper bound keyed by the canonical, structure-salted residual
+// state, so serving it from disk — or from a *previous run's* file
+// reopened warm — can only prune subtrees that provably cannot beat
+// the final incumbent. The one genuinely new hazard is a torn bucket:
+// a SIGKILL can flush the mmap'd pages of a bucket's key and meta
+// words from different stores (a bucket may straddle a page boundary).
+// The disk tier therefore never stores the verifier hash raw; it
+// stores key = h2 XOR spillMix(meta), so a key and meta that did not
+// come from the same store fail verification and read as a miss —
+// corruption degrades the cache, never the bound.
+//
+// File layout (little endian):
+//
+//	[0,64)  header: magic, version, shard geometry, tag hash, checksum
+//	[64,…)  memoShardN shard arrays, bucketsPerShard 24-byte buckets each
+//
+// The header is checksummed (FNV-1a) and carries a caller tag (git
+// describe / version string, hashed) so a file written by incompatible
+// code or for a different deployment is rejected as *SpillFormatError
+// rather than silently misread.
+
+const (
+	spillMagic   = "SNSPILL\x01"
+	spillVersion = 1
+	spillHdrSize = 64
+
+	// MinSpillMemoBytes is the smallest disk budget OpenSpillMemo
+	// accepts: 64 KiB gives every one of the memoShardN shards at
+	// least 16 buckets. Unlike NewMemo's silent clamp — where any
+	// budget can degrade to a small working RAM table — an undersized
+	// *disk* budget is a misconfiguration worth surfacing (the caller
+	// asked for persistence that could not hold one shard), so budgets
+	// below the floor fail with *SpillBudgetError instead of producing
+	// a degenerate or corrupt mapping.
+	MinSpillMemoBytes = 1 << 16
+)
+
+// SpillBudgetError reports a spill budget below MinSpillMemoBytes
+// (including zero and negative values).
+type SpillBudgetError struct {
+	Requested int64
+	Min       int64
+}
+
+func (e *SpillBudgetError) Error() string {
+	return fmt.Sprintf("core: spill budget %d bytes is below the %d-byte floor (one bucket row per shard plus the header); raise the budget or drop the spill file", e.Requested, e.Min)
+}
+
+// SpillFormatError reports a spill file that exists but cannot be
+// reopened: wrong magic/version, checksum mismatch, a different tag,
+// or a size that disagrees with its own header.
+type SpillFormatError struct {
+	Path   string
+	Reason string
+}
+
+func (e *SpillFormatError) Error() string {
+	return fmt.Sprintf("core: spill file %s: %s", e.Path, e.Reason)
+}
+
+// spillMix entangles a bucket's meta word into its stored verifier so
+// a torn (key, meta) pair from different stores cannot verify.
+func spillMix(meta uint32) uint64 {
+	h := (uint64(meta) + 0x9e3779b97f4a7c15) * 0xc6a4a7935bd1e995
+	return h ^ h>>29
+}
+
+func spillChecksum(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+func spillTagHash(tag string) uint64 {
+	return spillChecksum([]byte("tag:" + tag))
+}
+
+// spillGeometry rounds a disk budget down to the largest power-of-two
+// buckets-per-shard that fits under it alongside the header.
+func spillGeometry(diskBytes int64) (perShard int64) {
+	per := (diskBytes - spillHdrSize) / (2 * memoEntryCost) / memoShardN
+	pow := int64(1)
+	for pow*2 <= per {
+		pow *= 2
+	}
+	return pow
+}
+
+func spillFileSize(perShard int64) int64 {
+	return spillHdrSize + perShard*memoShardN*2*memoEntryCost
+}
+
+// OpenSpillMemo builds a Memo whose RAM tier has ramBytes of budget
+// (clamped as NewMemo does) and attaches a disk tier mapped from the
+// spill file at path, sized by diskBytes. If the file already exists
+// its header is validated against tag and the stored geometry wins
+// (diskBytes is ignored); warm reports that case — the table starts
+// pre-populated with the previous run's demoted bounds. diskBytes
+// below MinSpillMemoBytes fails with *SpillBudgetError; an existing
+// file with a bad header fails with *SpillFormatError. The caller owns
+// Close, which syncs the mapping.
+func OpenSpillMemo(path string, ramBytes, diskBytes int64, tag string) (m *Memo, warm bool, err error) {
+	if diskBytes < MinSpillMemoBytes {
+		return nil, false, &SpillBudgetError{Requested: diskBytes, Min: MinSpillMemoBytes}
+	}
+
+	var f *mmapio.File
+	var perShard int64
+	if _, statErr := os.Stat(path); statErr == nil {
+		f, err = mmapio.Open(path)
+		if err != nil {
+			return nil, false, err
+		}
+		perShard, err = validateSpillHeader(path, f.Bytes(), f.Size(), tag)
+		if err != nil {
+			f.Close()
+			return nil, false, err
+		}
+		warm = true
+	} else {
+		perShard = spillGeometry(diskBytes)
+		f, err = mmapio.Create(path, spillFileSize(perShard))
+		if err != nil {
+			return nil, false, err
+		}
+		writeSpillHeader(f.Bytes(), perShard, tag)
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, false, err
+		}
+	}
+
+	m = NewMemo(ramBytes)
+	m.spill = f
+	m.diskBytes = f.Size() - spillHdrSize
+	m.diskMask = uint64(perShard - 1)
+	m.disk = make([][]memoBucket, memoShardN)
+	data := f.Bytes()
+	for s := 0; s < memoShardN; s++ {
+		off := spillHdrSize + int64(s)*perShard*2*memoEntryCost
+		m.disk[s] = unsafe.Slice((*memoBucket)(unsafe.Pointer(&data[off])), perShard)
+	}
+	return m, warm, nil
+}
+
+func writeSpillHeader(b []byte, perShard int64, tag string) {
+	copy(b[0:8], spillMagic)
+	binary.LittleEndian.PutUint32(b[8:12], spillVersion)
+	binary.LittleEndian.PutUint32(b[12:16], memoShardBits)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(perShard))
+	binary.LittleEndian.PutUint64(b[24:32], spillTagHash(tag))
+	// b[32:56) reserved, zero.
+	binary.LittleEndian.PutUint64(b[56:64], spillChecksum(b[0:56]))
+}
+
+func validateSpillHeader(path string, b []byte, size int64, tag string) (perShard int64, err error) {
+	bad := func(reason string) (int64, error) {
+		return 0, &SpillFormatError{Path: path, Reason: reason}
+	}
+	if int64(len(b)) < spillHdrSize {
+		return bad("shorter than the header")
+	}
+	if string(b[0:8]) != spillMagic {
+		return bad("bad magic (not a spill file)")
+	}
+	if got := binary.LittleEndian.Uint64(b[56:64]); got != spillChecksum(b[0:56]) {
+		return bad("header checksum mismatch (truncated or corrupt)")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != spillVersion {
+		return bad(fmt.Sprintf("format version %d (this build reads %d)", v, spillVersion))
+	}
+	if sb := binary.LittleEndian.Uint32(b[12:16]); sb != memoShardBits {
+		return bad(fmt.Sprintf("shard geometry %d bits (this build uses %d)", sb, memoShardBits))
+	}
+	if th := binary.LittleEndian.Uint64(b[24:32]); th != spillTagHash(tag) {
+		return bad("tag mismatch (written by a different build or deployment)")
+	}
+	perShard = int64(binary.LittleEndian.Uint64(b[16:24]))
+	if perShard < 1 || perShard&(perShard-1) != 0 {
+		return bad(fmt.Sprintf("buckets per shard %d is not a positive power of two", perShard))
+	}
+	if want := spillFileSize(perShard); size != want {
+		return bad(fmt.Sprintf("file is %d bytes, header geometry needs %d", size, want))
+	}
+	return perShard, nil
+}
+
+// diskProbe looks the (h2, step) verifier pair up in shard si's disk
+// tier. Caller holds the shard lock.
+func (m *Memo) diskProbe(si int, h2 uint64, want uint32) (uint8, bool) {
+	b := &m.disk[si][h2&m.diskMask]
+	for k := 0; k < 2; k++ {
+		meta := b.meta[k]
+		if meta&^0xff == want && b.key[k] == h2^spillMix(meta) {
+			return uint8(meta), true
+		}
+	}
+	return 0, false
+}
+
+// diskStore demotes an evicted RAM entry (raw verifier h2, full meta
+// word) into shard si's disk tier, evicting by the same
+// shallower-subtree rule as the RAM tier. Caller holds the shard lock.
+func (m *Memo) diskStore(si int, h2 uint64, meta uint32) {
+	b := &m.disk[si][h2&m.diskMask]
+	step := int(meta >> 8 & 0xff)
+	victim, victimStep := -1, -1
+	for k := 0; k < 2; k++ {
+		km := b.meta[k]
+		if km&(1<<16) == 0 {
+			victim, victimStep = k, 1<<30
+			continue
+		}
+		if km&^0xff == meta&^0xff && b.key[k] == h2^spillMix(km) {
+			// Same state and step: keep the tighter bound. Rewriting
+			// meta re-entangles the key.
+			if uint8(km) > uint8(meta) {
+				b.key[k] = h2 ^ spillMix(meta)
+				b.meta[k] = meta
+			}
+			return
+		}
+		if ks := int(km >> 8 & 0xff); ks > victimStep {
+			victim, victimStep = k, ks
+		}
+	}
+	// Prefer keeping the deeper (more expensive to recompute) entry:
+	// only displace an occupied slot whose step is not shallower than
+	// the incoming one's.
+	if victimStep != 1<<30 && victimStep < step {
+		return
+	}
+	b.key[victim] = h2 ^ spillMix(meta)
+	b.meta[victim] = meta
+}
+
+// Spilling reports whether a disk tier is attached.
+func (m *Memo) Spilling() bool { return m != nil && m.disk != nil }
+
+// SyncSpill flushes the disk tier's mapping to the file. A no-op
+// without a spill (and on nil).
+func (m *Memo) SyncSpill() error {
+	if m == nil || m.spill == nil {
+		return nil
+	}
+	return m.spill.Sync()
+}
+
+// Close syncs and unmaps the spill file, if any. The Memo must not be
+// probed or stored to afterwards. Nil-safe and idempotent; a Memo
+// without a spill closes trivially.
+func (m *Memo) Close() error {
+	if m == nil || m.spill == nil {
+		return nil
+	}
+	err := m.spill.Close()
+	m.spill = nil
+	m.disk = nil
+	return err
+}

@@ -18,14 +18,18 @@ import (
 // incumbent, with collision pruning (incSim), a direct-pair capacity
 // bound, canonical-state memoization, and sibling dominance cutting
 // the rest (see canon.go and memo.go). The cap is set by two things:
-// the measured worst case — dense random circuits, whose optimum is
-// small and whose automorphism group is trivial, at ~20 s single-core
-// for n=24 with 6 levels (minutes at 10 levels; see EXPERIMENTS.md,
-// "Symmetry reduction") — and the witness encoding, which packs size
-// plus a 2-bit-per-wire pattern into one atomic 64-bit word
-// (2·24 + 6 bits). Friendly circuits (butterflies, sparse levels, RDN
-// stacks) finish n=24 in well under a second.
-const MaxOptimalWires = 24
+// the witness encoding — size plus a 2-bit-per-wire pattern packed
+// into one atomic 64-bit word (2·26 + 6 bits) — and the measured
+// worst case, dense random circuits, whose optimum is small and whose
+// automorphism group is trivial (see EXPERIMENTS.md, "Symmetry
+// reduction" and A3). A single process handles n=26 at moderate depth
+// in minutes; what moved the cap past 24 is that a search can now be
+// checkpointed (frontier records + -resume), its table spilled to
+// disk and reopened warm (OpenSpillMemo), and its prefix frontier
+// sharded across worker processes (internal/coord) — runs no longer
+// have to fit one uninterrupted process. Friendly circuits
+// (butterflies, sparse levels, RDN stacks) finish n=26 in seconds.
+const MaxOptimalWires = 26
 
 // optimalPrefixDigits fans the top of the search out as independent
 // branch-and-bound roots (3^digits prefixes over the first search
@@ -82,6 +86,81 @@ type OptimalOptions struct {
 	// atomic load per cancellation-probe stride (every 2^13 nodes),
 	// nothing per node.
 	Progress *obs.Progress
+
+	// ShardStart/ShardEnd restrict the scan to prefixes in
+	// [ShardStart, ShardEnd) of the OptimalPrefixes(n)-wide frontier;
+	// ShardEnd <= 0 means the full frontier. Because the packed
+	// incumbent is a pure max over leaves, the max of the shards'
+	// packed results over any partition of the frontier equals the
+	// whole search's packed result — this is what the coordinator
+	// (internal/coord) merges.
+	ShardStart, ShardEnd int
+
+	// SkipPrefix, when non-nil, reports prefixes a previous run
+	// already completed; their subtrees are not re-explored. Sound
+	// only together with a SeedIncumbent at least as large as the
+	// incumbent recorded when each skipped prefix finished (the
+	// frontier journal guarantees this — see the resume proof in
+	// DESIGN.md §4, decision 14).
+	SkipPrefix func(prefix int) bool
+
+	// SeedIncumbent pre-loads the packed incumbent (a value previously
+	// returned or journaled by this search, i.e. a real leaf). The
+	// final result is unchanged by any seed that the full search
+	// dominates; a seed from completed prefixes makes skipping them
+	// exact.
+	SeedIncumbent uint64
+
+	// OnPrefixDone, when non-nil, is called after each prefix subtree
+	// is exhausted (including prefixes that die in their own digits
+	// and prefixes skipped by SkipPrefix), with the global packed
+	// incumbent at that moment. The incumbent is then an upper bound
+	// witness for everything the prefix's subtree could contribute,
+	// which is exactly what a resume needs to seed. Called
+	// concurrently from worker goroutines; implementations
+	// synchronize.
+	OnPrefixDone func(prefix int, incumbent uint64)
+}
+
+// OptimalPrefixes is the width of the search's top-level prefix
+// frontier for an n-wire circuit: 3^min(optimalPrefixDigits, n), the
+// unit of work distribution, checkpointing, and sharding (81 for every
+// n >= 4).
+func OptimalPrefixes(n int) int {
+	digits := optimalPrefixDigits
+	if digits > n {
+		digits = n
+	}
+	p := 1
+	for i := 0; i < digits; i++ {
+		p *= 3
+	}
+	return p
+}
+
+// DecodeOptimalWitness unpacks a packed incumbent (size<<2n | inverted
+// lex key) into the result triple OptimalNoncolliding returns: set
+// size, witnessing pattern, and the [M_0]-set. A zero pack decodes to
+// the defensive singleton-M default (unreachable from a completed
+// search on n >= 1 wires).
+func DecodeOptimalWitness(n int, packed uint64) (int, pattern.Pattern, []int) {
+	keyBits := uint(2 * n)
+	keyMask := uint64(1)<<keyBits - 1
+	size := int(packed >> keyBits)
+	var p pattern.Pattern
+	if size == 0 {
+		p = pattern.Uniform(n, pattern.S(0))
+		p[0] = pattern.M(0)
+		size = 1
+	} else {
+		p = make(pattern.Pattern, n)
+		key := (packed & keyMask) ^ keyMask
+		for j := n - 1; j >= 0; j-- {
+			p[j] = lexSymbols[key&3]
+			key >>= 2
+		}
+	}
+	return size, p, p.Set(pattern.M(0))
 }
 
 // OptimalNoncolliding finds, over all 3^n patterns with symbols
@@ -123,11 +202,27 @@ func OptimalNoncollidingCtx(ctx context.Context, c *network.Network, workers int
 }
 
 // OptimalNoncollidingOpt is OptimalNoncollidingCtx with full control
-// over the transposition table.
+// over the transposition table, checkpointing, and sharding.
 func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt OptimalOptions) (int, pattern.Pattern, []int, error) {
+	packed, err := OptimalNoncollidingPacked(ctx, c, opt)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	size, p, set := DecodeOptimalWitness(c.Wires(), packed)
+	return size, p, set, nil
+}
+
+// OptimalNoncollidingPacked runs the search and returns the raw packed
+// incumbent — size<<2n | inverted lex witness key — without decoding.
+// This is the merge currency of distribution: shard workers return it,
+// the coordinator folds shards with an integer max (the prefix-order
+// reduce of DESIGN.md decision 9 applied across processes), and the
+// frontier journal records it per completed prefix. A full-frontier,
+// unseeded call packs exactly what OptimalNoncollidingOpt decodes.
+func OptimalNoncollidingPacked(ctx context.Context, c *network.Network, opt OptimalOptions) (uint64, error) {
 	n := c.Wires()
 	if n > MaxOptimalWires {
-		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds the %d-wire cap (the packed witness holds 2 bits per wire in one 64-bit word, and the pruned branch-and-bound worst case — dense random circuits — is calibrated to %d wires; see MaxOptimalWires)", n, MaxOptimalWires, MaxOptimalWires))
+		panic(fmt.Sprintf("core.OptimalNoncolliding: n = %d exceeds the %d-wire cap (the packed witness holds 2 bits per wire plus the size in one 64-bit word, and the pruned branch-and-bound worst case — dense random circuits — is calibrated to %d wires; see MaxOptimalWires)", n, MaxOptimalWires, MaxOptimalWires))
 	}
 	cz := newCanonizer(c)
 	mm := opt.Memo
@@ -139,10 +234,18 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 	if digits > n {
 		digits = n
 	}
-	prefixes := 1
-	for i := 0; i < digits; i++ {
-		prefixes *= 3
+	prefixes := OptimalPrefixes(n)
+	shardStart, shardEnd := opt.ShardStart, opt.ShardEnd
+	if shardEnd <= 0 || shardEnd > prefixes {
+		shardEnd = prefixes
 	}
+	if shardStart < 0 {
+		shardStart = 0
+	}
+	if shardStart > shardEnd {
+		shardStart = shardEnd
+	}
+	shardN := shardEnd - shardStart
 
 	// The incumbent packs the best leaf found so far as
 	// size<<(2n) | (witness lex key ^ keyMask): bigger sets win, and
@@ -155,23 +258,37 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 	keyBits := uint(2 * n)
 	keyMask := uint64(1)<<keyBits - 1
 	var incumbent atomic.Uint64
+	incumbent.Store(opt.SeedIncumbent)
 	var nextPrefix atomic.Int64
 	var canceled atomic.Bool
+	var liveNodes, prefixesDone atomic.Int64
 	done := ctx.Done()
+
+	// onDone retires a frontier prefix: the progress counter always
+	// moves, and the checkpoint callback (if any) observes the global
+	// incumbent *after* the subtree is exhausted — by the resume proof
+	// (DESIGN.md decision 14) that value dominates everything the
+	// prefix could have contributed, so it is exactly the seed a
+	// resumed run needs when skipping this prefix.
+	onDone := func(p int) {
+		prefixesDone.Add(1)
+		if opt.OnPrefixDone != nil {
+			opt.OnPrefixDone(p, incumbent.Load())
+		}
+	}
 
 	// Live-telemetry state: workers fold their local node counts in at
 	// the cancellation-probe cadence (and at prefix boundaries), so a
 	// Progress source can report nodes/sec and frontier completion
 	// without the hot loop ever touching a shared atomic per node.
 	prog := opt.Progress
-	var liveNodes, prefixesDone atomic.Int64
 	if prog != nil {
 		unregister := prog.Register(func(s *obs.Sample) {
 			s.Counter("optimal.nodes", liveNodes.Load())
 			dp := prefixesDone.Load()
 			s.Field("optimal.prefixes_done", dp)
-			s.Field("optimal.prefixes_total", int64(prefixes))
-			s.SetFraction(float64(dp), float64(prefixes))
+			s.Field("optimal.prefixes_total", int64(shardN))
+			s.SetFraction(float64(dp), float64(shardN))
 			s.Field("optimal.incumbent", int64(incumbent.Load()>>keyBits))
 			if mm != nil {
 				s.Field("optimal.memo_load", mm.Stats().LoadFactor)
@@ -427,9 +544,15 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 		}
 
 		for {
-			p := int(nextPrefix.Add(1) - 1)
-			if p >= prefixes || checkCancel() {
+			p := shardStart + int(nextPrefix.Add(1)-1)
+			if p >= shardEnd || checkCancel() {
 				return
+			}
+			if opt.SkipPrefix != nil && opt.SkipPrefix(p) {
+				// A previous run finished this subtree; SeedIncumbent
+				// already dominates it, so skipping is exact.
+				onDone(p)
+				continue
 			}
 
 			// Assign the prefix digits (most significant digit = step 0).
@@ -454,18 +577,18 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 				}
 			}
 			if !live {
-				prefixesDone.Add(1)
+				onDone(p)
 				continue
 			}
 			dfs(digits, mCount, cap)
 			if stopped {
 				return
 			}
-			prefixesDone.Add(1)
+			onDone(p)
 		}
 	}
 
-	if nw := par.Workers(prefixes, opt.Workers); nw <= 1 {
+	if nw := par.Workers(shardN, opt.Workers); nw <= 1 {
 		worker()
 	} else {
 		var wg sync.WaitGroup
@@ -479,28 +602,11 @@ func OptimalNoncollidingOpt(ctx context.Context, c *network.Network, opt Optimal
 		wg.Wait()
 	}
 	if canceled.Load() {
-		return 0, nil, nil, &par.ErrCanceled{Op: "core.OptimalNoncolliding", Cause: ctx.Err()}
+		return 0, &par.ErrCanceled{Op: "core.OptimalNoncolliding", Cause: ctx.Err()}
 	}
 
-	// Decode the packed incumbent: it is simultaneously the maximum
-	// and its own witness, so there is nothing to reduce.
-	inc := incumbent.Load()
-	bestSize := int(inc >> keyBits)
-	var bestP pattern.Pattern
-	if bestSize == 0 {
-		// Unreachable for n >= 1 (a singleton M-set is trivially
-		// noncolliding and the M-first DFS finds one), kept as a
-		// defensive default.
-		bestP = pattern.Uniform(n, pattern.S(0))
-		bestP[0] = pattern.M(0)
-		bestSize = 1
-	} else {
-		bestP = make(pattern.Pattern, n)
-		key := (inc & keyMask) ^ keyMask
-		for j := n - 1; j >= 0; j-- {
-			bestP[j] = lexSymbols[key&3]
-			key >>= 2
-		}
-	}
-	return bestSize, bestP, bestP.Set(pattern.M(0)), nil
+	// The packed incumbent is simultaneously the maximum and its own
+	// witness, so there is nothing to reduce — and nothing to decode
+	// here: callers that want the triple go through DecodeOptimalWitness.
+	return incumbent.Load(), nil
 }

@@ -118,25 +118,26 @@ func A2Optimality(cfg Config) *Table {
 }
 
 // A3OptimumCap drives the exact optimum search to the engine's
-// symmetry-reduced cap (core.MaxOptimalWires = 24) on its measured
+// symmetry-reduced cap (core.MaxOptimalWires = 26) on its measured
 // worst case: dense random level circuits (randnet.Levels — uniformly
 // random perfect matchings with random directions, so the
 // automorphism group is almost surely trivial and every pruning rule
-// has to earn its keep). The old engine's cap was 20 wires; these
-// rows are the evidence for the new cap and for the EXPERIMENTS.md
-// "Symmetry reduction" timings. Rows are byte-stable per seed; the
+// has to earn its keep). The engine's cap has moved 20 → 24 → 26 as
+// pruning, symmetry reduction, and now the durable sharded frontier
+// (PR 9) landed; these rows are the evidence for the cap and for the
+// EXPERIMENTS.md timings. Rows are byte-stable per seed; the
 // per-instance timings go in the notes.
 func A3OptimumCap(cfg Config) *Table {
 	t := &Table{
 		ID:    "A3",
 		Title: "Optimum search at the symmetry-reduced cap (dense random circuits)",
-		Claim: "engineering claim, not a paper claim: the pruned branch-and-bound (canonical memo + dominance + capacity + lex incumbent) reaches n = 24 on its worst-case family",
+		Claim: "engineering claim, not a paper claim: the pruned branch-and-bound (canonical memo + dominance + capacity + lex incumbent, resumable and shardable since PR 9) reaches n = 26 on its worst-case family",
 		Columns: []string{
 			"n", "levels", "comparators", "optimal |D|", "|D|/n",
 		},
 	}
 	type a3case struct{ n, depth int }
-	cases := []a3case{{18, 10}, {20, 10}, {22, 10}, {24, 6}}
+	cases := []a3case{{18, 10}, {20, 10}, {22, 10}, {24, 6}, {26, 6}}
 	if cfg.Quick {
 		cases = []a3case{{12, 8}, {14, 8}}
 	}

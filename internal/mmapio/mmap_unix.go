@@ -1,0 +1,44 @@
+//go:build linux || darwin
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapFile maps fd's first size bytes MAP_SHARED: stores land in the
+// page cache immediately, so even a SIGKILLed process leaves its
+// writes behind for the next open (modulo torn pages at crash time —
+// the caller's format must tolerate those; see core's spill verifier).
+func mapFile(f *os.File, size int64) (*File, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, data: data}, nil
+}
+
+func (m *File) sync() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	// msync(MS_SYNC): the slice's base pointer is stable for the
+	// duration of the call (Go slices do not move).
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&m.data[0])), uintptr(len(m.data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func (m *File) unmap() error {
+	if m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}
