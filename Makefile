@@ -1,19 +1,20 @@
 GO ?= go
 
-.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke obs-smoke serve-smoke resume-smoke coord-smoke fuzz experiments netgen netgen-check
+.PHONY: build test check check-ctx check-memo vet race bench bench-json bench-diff bench-smoke batch-smoke obs-smoke serve-smoke resume-smoke coord-smoke fuzz experiments netgen netgen-check
 
 # Benchmark snapshot recorded for this PR (see EXPERIMENTS.md).
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 
 # Baseline the guarded (SWAR kernel) benchmarks are diffed against by
 # bench-diff. Only meaningful on the machine that recorded it.
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR9.json
 
 # The benchmarks bench-diff/bench-smoke re-run: the guarded SWAR 0-1
-# kernels, the daemon's end-to-end request legs, and the durable
-# optimum-search paths — spill table and checkpoint/resume (see
+# kernels, the daemon's end-to-end request legs, the durable
+# optimum-search paths — spill table and checkpoint/resume — and the
+# vertical batch sorting entry points and raw columnar kernels (see
 # cmd/benchjson defaultGuard).
-BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch|BenchmarkServe|MemoSpill|OptimalResume
+BENCH_GUARDED = ZeroOneScalarVsBits|HalverEpsilon|GeneratedSort|SortDispatch|BenchmarkServe|MemoSpill|OptimalResume|SortBatch|BatchKernel
 
 build:
 	$(GO) build ./...
@@ -86,6 +87,18 @@ bench-smoke:
 	  $(GO) test -run XXX -bench '$(BENCH_GUARDED)' -benchtime 0.3s ./internal/serve/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_smoke_b.json
 	$(GO) run ./cmd/benchjson -diff -threshold 0.5 /tmp/bench_smoke_a.json /tmp/bench_smoke_b.json
+
+# batch-smoke exercises the vertical batch sorting surface under the
+# race detector: the exhaustive 0-1 verification of every committed
+# batch kernel (both the pure-Go and, where the CPU supports it, the
+# AVX-512 implementations), the differential tests against slices.Sort,
+# the float64 bit-multiset check, the shape-panic contract, and the
+# fuzz seed corpus. The SIMD kernels and the pooled transpose scratch
+# are the assembly/unsafe surface this PR adds; -race plus the go/simd
+# subtest split is the cheapest way to keep both honest in CI.
+batch-smoke:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestBatch|TestSortBatch|TestSortDispatchZeroAlloc|FuzzSortBatch' .
 
 # obs-smoke drives the live-telemetry path end to end: a short adversary
 # optimum search with -progress and -journal, then cmd/obsreport over

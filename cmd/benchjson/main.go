@@ -69,9 +69,11 @@ type Doc struct {
 // kernels plus their shufflenet.Sort dispatch path, the library's
 // user-facing fast path (PR 6), the daemon's end-to-end request
 // legs — the coalesced probe and warm-memo optimum paths (PR 8) —
-// and the durable-search machinery: the spill-backed transposition
-// table and the checkpoint/resume paths of the optimum search (PR 9).
-const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/|BenchmarkServe|BenchmarkMemoSpill/|BenchmarkOptimalResume/`
+// the durable-search machinery: the spill-backed transposition
+// table and the checkpoint/resume paths of the optimum search
+// (PR 9) — and the vertical batch sorting entry points plus their
+// raw columnar kernels (PR 10).
+const defaultGuard = `Benchmark(ZeroOneScalarVsBits|HalverEpsilon)/(fraction-)?bits$|BenchmarkGeneratedSort/|BenchmarkSortDispatch/|BenchmarkServe|BenchmarkMemoSpill/|BenchmarkOptimalResume/|BenchmarkSortBatch/|BenchmarkBatchKernel/`
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
